@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test short vet bench fuzz examples reproduce clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+short:
+	go test -short ./...
+
+vet:
+	go vet ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+fuzz:
+	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/ethernet/
+
+examples:
+	@for ex in quickstart ring-industrial star-production-cell \
+	            platform-compare tas-lowlatency reconfigure gptp-failover; do \
+		echo "=== $$ex ==="; go run ./examples/$$ex || exit 1; \
+	done
+
+reproduce:
+	go run ./cmd/tsnbench -exp all
+
+clean:
+	go clean ./...

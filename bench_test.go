@@ -1,0 +1,428 @@
+// Package bench is the benchmark harness that regenerates every table
+// and figure of the paper at full evaluation scale (1024 TS flows,
+// 100 ms measurement windows). Each BenchmarkXxx corresponds to one
+// table/figure; custom metrics report the headline numbers next to the
+// usual ns/op:
+//
+//	go test -bench=. -benchmem
+//
+// The text renderings the paper prints are produced by cmd/tsnbench.
+package bench
+
+import (
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/itp"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/tsnbuilder"
+)
+
+func params() experiments.Params {
+	p := experiments.DefaultParams()
+	if testing.Short() {
+		p = experiments.ShortParams()
+	}
+	return p
+}
+
+// reportSeries attaches the last row's headline metrics to the bench.
+func reportSeries(b *testing.B, s *experiments.Series) {
+	b.Helper()
+	if len(s.Rows) == 0 {
+		b.Fatal("empty series")
+	}
+	last := s.Rows[len(s.Rows)-1]
+	b.ReportMetric(last.Mean.Micros(), "mean_µs")
+	b.ReportMetric(last.Jitter.Micros(), "jitter_µs")
+	b.ReportMetric(100*last.LossRate, "loss_%")
+}
+
+// BenchmarkTableI regenerates Table I (queue/buffer configuration
+// BRAM totals: 2304 Kb vs 1764 Kb).
+func BenchmarkTableI(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.TableI()
+		total = rows[0].TotalKb - rows[1].TotalKb
+	}
+	b.ReportMetric(total, "savedKb")
+}
+
+// BenchmarkTableIII regenerates Table III (resource usage of the
+// commercial vs star/linear/ring customized switches).
+func BenchmarkTableIII(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		cols, err := experiments.TableIII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduction = cols[3].Reduction
+	}
+	b.ReportMetric(reduction, "ring_reduction_%")
+}
+
+// BenchmarkFig2BE regenerates Fig. 2(a): TS latency under BE
+// background on the Table I Case 2 configuration.
+func BenchmarkFig2BE(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.Fig2(p, "BE", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s)
+}
+
+// BenchmarkFig2RC regenerates Fig. 2(b): TS latency under RC
+// background.
+func BenchmarkFig2RC(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.Fig2(p, "RC", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s)
+}
+
+// BenchmarkFig7Hops regenerates Fig. 7(a): latency vs hop count.
+func BenchmarkFig7Hops(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.Fig7Hops(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s)
+}
+
+// BenchmarkFig7PktSize regenerates Fig. 7(b): latency vs packet size.
+func BenchmarkFig7PktSize(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.Fig7PktSize(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s)
+}
+
+// BenchmarkFig7Slot regenerates Fig. 7(c): latency vs slot size.
+func BenchmarkFig7Slot(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.Fig7Slot(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s)
+}
+
+// BenchmarkFig7Background regenerates Fig. 7(d): latency vs combined
+// RC+BE background load.
+func BenchmarkFig7Background(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.Fig7Background(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, s)
+}
+
+// BenchmarkQoSEquivalence runs the §IV.C summary claim: the same
+// workload on commercial and customized resources.
+func BenchmarkQoSEquivalence(b *testing.B) {
+	p := params()
+	var s *experiments.Series
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.CommercialVsCustomizedQoS(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	diff := s.Rows[0].Mean - s.Rows[1].Mean
+	if diff < 0 {
+		diff = -diff
+	}
+	b.ReportMetric(diff.Micros(), "mean_diff_µs")
+}
+
+// BenchmarkGPTPPrecision measures the Time Sync template's steady-state
+// precision (§IV.A: < 50 ns).
+func BenchmarkGPTPPrecision(b *testing.B) {
+	var res experiments.SyncResult
+	for i := 0; i < b.N; i++ {
+		res = experiments.SyncPrecision(uint64(i) + 1)
+	}
+	b.ReportMetric(float64(res.SteadyState), "steady_ns")
+}
+
+// BenchmarkITPAblation measures the queue/buffer BRAM that Injection
+// Time Planning saves versus naive zero-offset injection.
+func BenchmarkITPAblation(b *testing.B) {
+	p := params()
+	var rows []experiments.ITPRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ITPAblation(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].QueueBufKb-rows[len(rows)-1].QueueBufKb, "savedKb")
+}
+
+// BenchmarkPlatformAblation prices the ring customization on FPGA vs
+// ASIC cost models.
+func BenchmarkPlatformAblation(b *testing.B) {
+	var rows []experiments.PlatformRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PlatformAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TotalKb-rows[1].TotalKb, "blockOverheadKb")
+}
+
+// BenchmarkThresholdStudy sweeps queue/buffer provisioning across the
+// traffic-dependent threshold of the Table I motivation study.
+func BenchmarkThresholdStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.ThresholdRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ThresholdStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report the knee: the smallest zero-loss depth.
+	for _, r := range rows {
+		if r.TSLossRate == 0 {
+			b.ReportMetric(float64(r.QueueDepth), "threshold_depth")
+			break
+		}
+	}
+}
+
+// BenchmarkTASvsCQF runs the gate-mechanism ablation: synthesized
+// 802.1Qbv schedule against the paper's 2-entry CQF configuration.
+func BenchmarkTASvsCQF(b *testing.B) {
+	p := params()
+	var rows []experiments.TASRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TASvsCQF(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Mean.Micros(), "cqf_mean_µs")
+	b.ReportMetric(rows[1].Mean.Micros(), "tas_mean_µs")
+	b.ReportMetric(float64(rows[1].GateEntries), "tas_gate_entries")
+}
+
+// BenchmarkSMSStudy runs the buffer-architecture ablation (per-port
+// pools vs a shared SMS pool).
+func BenchmarkSMSStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.SMSRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.SMSStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].BufferKb-rows[1].BufferKb, "sharedSavesKb")
+}
+
+// BenchmarkDeadlineStudy sweeps slot sizes against the IEC 60802
+// deadline classes.
+func BenchmarkDeadlineStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.DeadlineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.DeadlineStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rows[len(rows)-1].MissRate, "misses_at_520µs_%")
+}
+
+// BenchmarkDesyncStudy measures CQF sensitivity to clock error.
+func BenchmarkDesyncStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.DesyncRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.DesyncStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	worst := rows[0].Jitter
+	for _, r := range rows {
+		if r.Jitter > worst {
+			worst = r.Jitter
+		}
+	}
+	b.ReportMetric(worst.Micros(), "worst_jitter_µs")
+}
+
+// BenchmarkCBSStudy runs the credit-based-shaping ablation.
+func BenchmarkCBSStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.CBSRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CBSStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].BEP99.Micros(), "bare_be_p99_µs")
+	b.ReportMetric(rows[1].BEP99.Micros(), "shaped_be_p99_µs")
+}
+
+// BenchmarkPreemptStudy measures 802.3br frame preemption on an
+// ungated strict-priority port.
+func BenchmarkPreemptStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.PreemptRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.PreemptStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].TSMax.Micros(), "plain_max_µs")
+	b.ReportMetric(rows[1].TSMax.Micros(), "preempt_max_µs")
+}
+
+// BenchmarkRateStudy sweeps mixed-speed access links against the CQF
+// slot feasibility constraint.
+func BenchmarkRateStudy(b *testing.B) {
+	p := params()
+	var rows []experiments.RateRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.RateStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*rows[len(rows)-1].TSLossRate, "loss_at_10Mbps_%")
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+// BenchmarkEngineEvents measures raw discrete-event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := sim.NewEngine()
+	var tick func(*sim.Engine)
+	n := 0
+	tick = func(en *sim.Engine) {
+		n++
+		if n < b.N {
+			en.After(1, "tick", tick)
+		}
+	}
+	e.After(1, "tick", tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkFrameCodec measures Marshal/Unmarshal round trips.
+func BenchmarkFrameCodec(b *testing.B) {
+	f := &ethernet.Frame{
+		Dst: ethernet.HostMAC(1), Src: ethernet.HostMAC(2),
+		VID: 100, PCP: 7, EtherType: ethernet.TypeTSN,
+		Payload: make([]byte, 1000), FlowID: 1, Seq: 2, Class: ethernet.ClassTS,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := f.Marshal()
+		if _, err := ethernet.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkITPCompute measures planning time for the paper's 1024-flow
+// workload.
+func BenchmarkITPCompute(b *testing.B) {
+	specs := make([]*flows.Spec, 1024)
+	for i := range specs {
+		path := make([]int, 1+i%4)
+		for h := range path {
+			path[h] = (i + h) % 6
+		}
+		specs[i] = &flows.Spec{
+			ID: uint32(i + 1), Class: ethernet.ClassTS, WireSize: 64,
+			Period: 10 * sim.Millisecond, Path: path,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := itp.Compute(specs, 65*sim.Microsecond, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeriveAndBuild measures the full customization path: derive
+// parameters from a 1024-flow scenario and build the design.
+func BenchmarkDeriveAndBuild(b *testing.B) {
+	topo := tsnbuilder.Ring(6)
+	for h := 0; h < 6; h++ {
+		topo.AttachHost(100+h, h)
+	}
+	specs := tsnbuilder.GenerateTS(tsnbuilder.TSParams{
+		Count: 1024, Period: 10 * tsnbuilder.Millisecond, WireSize: 64, VID: 1,
+		Hosts: func(i int) (int, int) { return 100 + i%6, 100 + (i+2)%6 },
+		Seed:  1,
+	})
+	if err := tsnbuilder.BindPaths(topo, specs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		der, err := tsnbuilder.DeriveConfig(tsnbuilder.Scenario{Topo: topo, Flows: specs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tsnbuilder.BuilderFor(der.Config, nil).Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

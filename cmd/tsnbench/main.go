@@ -1,0 +1,214 @@
+// Command tsnbench regenerates the paper's tables and figures.
+//
+//	tsnbench -exp all          # everything, paper scale
+//	tsnbench -exp table3       # just Table III
+//	tsnbench -exp fig7a -short # reduced workload
+//
+// Experiments: table1, fig2, table3, fig7a, fig7b, fig7c, fig7d, qos,
+// sync, itp, platform, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate platform all)")
+		short  = flag.Bool("short", false, "reduced workload for quick runs")
+		seed   = flag.Uint64("seed", 42, "workload seed")
+		csvDir = flag.String("csv", "", "also write each latency series as CSV into this directory")
+	)
+	flag.Parse()
+	p := experiments.DefaultParams()
+	if *short {
+		p = experiments.ShortParams()
+	}
+	p.Seed = *seed
+	csvOut = *csvDir
+	if err := run(*exp, p); err != nil {
+		fmt.Fprintln(os.Stderr, "tsnbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvOut, when set, receives one CSV file per latency series.
+var csvOut string
+
+// emitSeries prints a series and optionally writes its CSV.
+func emitSeries(id string, s *experiments.Series) error {
+	fmt.Println(s.String())
+	if csvOut == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvOut, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(csvOut, id+".csv"), []byte(s.CSV()), 0o644)
+}
+
+func run(exp string, p experiments.Params) error {
+	all := exp == "all"
+	did := false
+
+	if all || exp == "table1" {
+		did = true
+		fmt.Print(experiments.FormatTableI(experiments.TableI()))
+		fmt.Println()
+	}
+	if all || exp == "fig2" {
+		did = true
+		for _, bg := range []string{"BE", "RC"} {
+			for _, cse := range []int{1, 2} {
+				s, err := experiments.Fig2(p, bg, cse)
+				if err != nil {
+					return err
+				}
+				if err := emitSeries(fmt.Sprintf("fig2-%s-case%d", bg, cse), s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if all || exp == "table3" {
+		did = true
+		cols, err := experiments.TableIII()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTableIII(cols))
+	}
+	figs := map[string]func(experiments.Params) (*experiments.Series, error){
+		"fig7a": experiments.Fig7Hops,
+		"fig7b": experiments.Fig7PktSize,
+		"fig7c": experiments.Fig7Slot,
+		"fig7d": experiments.Fig7Background,
+		"qos":   experiments.CommercialVsCustomizedQoS,
+	}
+	for _, id := range []string{"fig7a", "fig7b", "fig7c", "fig7d", "qos"} {
+		if all || exp == id {
+			did = true
+			s, err := figs[id](p)
+			if err != nil {
+				return err
+			}
+			if err := emitSeries(id, s); err != nil {
+				return err
+			}
+		}
+	}
+	if all || exp == "sync" {
+		did = true
+		res := experiments.SyncPrecision(p.Seed)
+		fmt.Printf("E-SYNC — gPTP precision (6-switch ring, ±50ppm oscillators)\n")
+		fmt.Printf("  steady-state worst offset: %v (target < 50ns)\n", res.SteadyState)
+		fmt.Printf("  converged after:           %v\n\n", res.ConvergedAfter)
+	}
+	if all || exp == "itp" {
+		did = true
+		rows, err := experiments.ITPAblation(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatITP(rows))
+		fmt.Println()
+	}
+	if all || exp == "tas" {
+		did = true
+		rows, err := experiments.TASvsCQF(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTAS(rows))
+		fmt.Println()
+	}
+	if all || exp == "threshold" {
+		did = true
+		rows, err := experiments.ThresholdStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatThreshold(rows))
+		planned, naive, err := experiments.NoITPStudy(p, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  with depth 6: planned-injection loss %.2f%%, naive-injection loss %.2f%% (highwater %d vs %d)\n\n",
+			100*planned.TSLossRate, 100*naive.TSLossRate, planned.HighWater, naive.HighWater)
+	}
+	if all || exp == "cbs" {
+		did = true
+		rows, err := experiments.CBSStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCBS(rows))
+		fmt.Println()
+	}
+	if all || exp == "deadline" {
+		did = true
+		rows, err := experiments.DeadlineStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDeadline(rows))
+		fmt.Println()
+	}
+	if all || exp == "desync" {
+		did = true
+		rows, err := experiments.DesyncStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDesync(rows))
+		fmt.Println()
+	}
+	if all || exp == "sms" {
+		did = true
+		rows, err := experiments.SMSStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSMS(rows))
+		fmt.Println()
+	}
+	if all || exp == "preempt" {
+		did = true
+		rows, err := experiments.PreemptStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatPreempt(rows))
+		fmt.Println()
+	}
+	if all || exp == "rate" {
+		did = true
+		rows, err := experiments.RateStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatRate(rows))
+		fmt.Println()
+	}
+	if all || exp == "platform" {
+		did = true
+		rows, err := experiments.PlatformAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println("E-PLATFORM — same customization, different cost models (ring config)")
+		for _, r := range rows {
+			fmt.Printf("  %-10s %8.1fKb\n", r.Platform, r.TotalKb)
+		}
+		fmt.Println()
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
+)
+
+func tiny() experiments.Params {
+	return experiments.Params{TSFlows: 32, Duration: 10_000_000, Seed: 42}
+}
+
+func TestRunCheapExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "table3", "sync", "itp", "platform"} {
+		if err := run(exp, tiny()); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow")
+	}
+	for _, exp := range []string{"fig7a", "fig7c", "qos", "tas", "sms"} {
+		if err := run(exp, tiny()); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", tiny()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Command tsnsim runs one end-to-end simulation of a customized TSN
+// network — the software analogue of powering up the paper's Fig. 6
+// demo: switches are generated from the derived design, TSNNic hosts
+// inject TS flows plus optional RC/BE background, gPTP synchronizes
+// the switch clocks, and the analyzer prints latency/jitter/loss.
+//
+// Example:
+//
+//	tsnsim -topology ring -switches 6 -flows 1024 -hops 3 -rc 200 -be 200
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/topology"
+	"github.com/tsnbuilder/tsnbuilder/internal/trace"
+	"github.com/tsnbuilder/tsnbuilder/testbed"
+)
+
+func main() {
+	var (
+		topoKind = flag.String("topology", "ring", "topology: star, ring, linear or tree")
+		switches = flag.Int("switches", 6, "switch count (ring/linear); star children = switches-1")
+		flowN    = flag.Int("flows", 1024, "TS flow count")
+		hops     = flag.Int("hops", 3, "switches each TS flow traverses")
+		sizeB    = flag.Int("size", 64, "TS frame size (bytes)")
+		slotUs   = flag.Int("slot", 65, "CQF slot (µs)")
+		rcMbps   = flag.Int("rc", 0, "RC background per injector (Mbps)")
+		beMbps   = flag.Int("be", 0, "BE background per injector (Mbps)")
+		durMs    = flag.Int("duration", 100, "measurement window (ms)")
+		noGPTP   = flag.Bool("no-gptp", false, "run with perfect clocks instead of gPTP")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		csvPath  = flag.String("csv", "", "write per-flow statistics to this CSV file")
+		pcapPath = flag.String("pcap", "", "write delivered frames to this pcap file")
+		hotspots = flag.Bool("hotspots", false, "trace the dataplane and print the worst queue-residence cells")
+	)
+	flag.Parse()
+	if err := runWithOutputs(*topoKind, *switches, *flowN, *hops, *sizeB, *slotUs,
+		*rcMbps, *beMbps, *durMs, !*noGPTP, *seed, *csvPath, *pcapPath, *hotspots); err != nil {
+		fmt.Fprintln(os.Stderr, "tsnsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runWithOutputs is run plus optional per-flow CSV and pcap dumps.
+func runWithOutputs(topoKind string, switches, flowN, hops, sizeB, slotUs,
+	rcMbps, beMbps, durMs int, gptpOn bool, seed uint64, csvPath, pcapPath string, hotspots bool) error {
+	var pcapOut io.Writer
+	if pcapPath != "" {
+		f, err := os.Create(pcapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pcapOut = f
+	}
+	net, err := run(topoKind, switches, flowN, hops, sizeB, slotUs,
+		rcMbps, beMbps, durMs, gptpOn, seed, pcapOut, hotspots)
+	if err != nil {
+		return err
+	}
+	if hotspots {
+		fmt.Println("worst queue residences:")
+		for _, r := range trace.TopResidences(net.Tracer, 8) {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	if net.Capture != nil {
+		fmt.Printf("pcap: %d frames captured to %s\n", net.Capture.Count(), pcapPath)
+	}
+	if csvPath == "" {
+		return nil
+	}
+	return writeCSV(net, csvPath)
+}
+
+// writeCSV dumps one row per flow for external plotting.
+func writeCSV(net *testbed.Net, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"flow", "class", "sent", "received",
+		"mean_us", "jitter_us", "min_us", "max_us", "deadline_misses"}); err != nil {
+		return err
+	}
+	sent := net.SentCounts()
+	for _, st := range net.Collector.Flows() {
+		row := []string{
+			fmt.Sprintf("%d", st.FlowID),
+			st.Class.String(),
+			fmt.Sprintf("%d", sent[st.FlowID]),
+			fmt.Sprintf("%d", st.Received),
+			fmt.Sprintf("%.3f", st.MeanLatency().Micros()),
+			fmt.Sprintf("%.3f", st.Jitter().Micros()),
+			fmt.Sprintf("%.3f", st.MinLat.Micros()),
+			fmt.Sprintf("%.3f", st.MaxLat.Micros()),
+			fmt.Sprintf("%d", st.DeadlineMisses),
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return w.Error()
+}
+
+func run(topoKind string, switches, flowN, hops, sizeB, slotUs,
+	rcMbps, beMbps, durMs int, gptpOn bool, seed uint64, pcapOut io.Writer, traceOn bool) (*testbed.Net, error) {
+
+	var topo *topology.Topology
+	switch topoKind {
+	case "star":
+		topo = topology.Star(switches - 1)
+	case "ring":
+		topo = topology.Ring(switches)
+	case "linear":
+		topo = topology.Linear(switches)
+	case "tree":
+		topo = topology.Tree(2, (switches-3)/2)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topoKind)
+	}
+	n := topo.N
+	for h := 0; h < n; h++ {
+		topo.AttachHost(100+h, h)
+		topo.AttachHost(200+h, h)
+	}
+
+	specs := flows.GenerateTS(flows.TSParams{
+		Count:    flowN,
+		Period:   10 * sim.Millisecond,
+		WireSize: sizeB,
+		VID:      1,
+		Hosts: func(i int) (int, int) {
+			src := i % n
+			return 100 + src, 100 + (src+hops-1)%n
+		},
+		Seed: seed,
+	})
+	for i, s := range specs {
+		s.VID = uint16(1 + i%4000)
+	}
+	id := uint32(100_000)
+	for srcIdx := 0; srcIdx < 3 && srcIdx < n; srcIdx++ {
+		if rcMbps > 0 {
+			specs = append(specs, flows.Background(id, ethernet.ClassRC,
+				200+srcIdx, 100+(srcIdx+hops-1)%n, uint16(3000+srcIdx),
+				ethernet.Rate(rcMbps)*ethernet.Mbps))
+			id++
+		}
+		if beMbps > 0 {
+			specs = append(specs, flows.Background(id, ethernet.ClassBE,
+				200+srcIdx, 100+(srcIdx+hops-1)%n, uint16(3200+srcIdx),
+				ethernet.Rate(beMbps)*ethernet.Mbps))
+			id++
+		}
+	}
+	if err := core.BindPaths(topo, specs); err != nil {
+		return nil, err
+	}
+	der, err := core.DeriveConfig(core.Scenario{
+		Topo: topo, Flows: specs,
+		SlotSize: sim.Time(slotUs) * sim.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	der.Plan.Apply(specs)
+	design, err := core.BuilderFor(der.Config, nil).Build()
+	if err != nil {
+		return nil, err
+	}
+	net, err := testbed.Build(testbed.Options{
+		Design: design, Topo: topo, Flows: specs,
+		EnableGPTP: gptpOn, Seed: seed, Pcap: pcapOut,
+		EnableTrace: traceOn,
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmup := sim.Time(0)
+	if gptpOn {
+		warmup = 2 * sim.Second
+	}
+	fmt.Printf("running %s/%d: %d TS flows (%dB, %d hops), rc=%dMbps be=%dMbps, slot=%dµs, gptp=%v\n",
+		topoKind, n, flowN, sizeB, hops, rcMbps, beMbps, slotUs, gptpOn)
+	net.Run(warmup, sim.Time(durMs)*sim.Millisecond)
+
+	for _, cls := range []ethernet.Class{ethernet.ClassTS, ethernet.ClassRC, ethernet.ClassBE} {
+		s := net.Summary(cls)
+		if s.Flows == 0 {
+			continue
+		}
+		fmt.Printf("%-3s flows=%-5d sent=%-7d recv=%-7d loss=%5.2f%%  mean=%9.1fµs jitter=%8.2fµs min=%9.1fµs max=%9.1fµs\n",
+			cls, s.Flows, s.Sent, s.Received, 100*s.LossRate,
+			s.MeanLatency.Micros(), s.Jitter.Micros(), s.MinLat.Micros(), s.MaxLat.Micros())
+		if cls == ethernet.ClassTS {
+			fmt.Printf("    deadline misses: %d\n", s.DeadlineMisses)
+		}
+	}
+	st := net.SwitchStats()
+	fmt.Printf("switches: rx=%d tx=%d drops=%d (no-route=%d meter=%d gate=%d buffer=%d queue=%d)\n",
+		st.RxFrames, st.TxFrames, st.TotalDrops(),
+		st.Drops[0], st.Drops[1], st.Drops[2], st.Drops[3], st.Drops[4])
+	fmt.Printf("worst TS queue occupancy: %d (provisioned depth %d)\n",
+		net.MaxQueueHighWater(), der.Config.QueueDepth)
+	if net.Domain != nil {
+		fmt.Printf("gPTP precision at end: %v\n", net.Domain.MaxAbsOffset())
+	}
+	return net, nil
+}

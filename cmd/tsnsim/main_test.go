@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRingSmall(t *testing.T) {
+	if _, err := run("ring", 6, 32, 2, 64, 65, 50, 50, 20, false, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStarWithGPTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gPTP warmup is seconds of simulated time")
+	}
+	if _, err := run("star", 4, 16, 2, 64, 65, 0, 0, 20, true, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLinear(t *testing.T) {
+	if _, err := run("linear", 4, 16, 3, 128, 65, 0, 20, 20, false, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownTopology(t *testing.T) {
+	if _, err := run("mesh", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, nil, false); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flows.csv")
+	if err := runWithOutputs("ring", 6, 16, 2, 64, 65, 0, 0, 20, false, 1, path, "", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 17 { // header + 16 flows
+		t.Fatalf("CSV lines = %d, want 17", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "flow,class,sent,received") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "TS") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestPcapOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.pcap")
+	if err := runWithOutputs("ring", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, "", path, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 24+16+60 {
+		t.Fatalf("pcap too small: %d bytes", len(data))
+	}
+	// Nanosecond pcap magic, little endian.
+	if data[0] != 0x4d || data[1] != 0x3c || data[2] != 0xb2 || data[3] != 0xa1 {
+		t.Fatalf("pcap magic = % x", data[:4])
+	}
+}
+
+func TestPcapBadPath(t *testing.T) {
+	if err := runWithOutputs("ring", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, "", "/nonexistent/x.pcap", false); err == nil {
+		t.Fatal("bad pcap path accepted")
+	}
+}
+
+func TestHotspots(t *testing.T) {
+	if err := runWithOutputs("ring", 6, 16, 3, 64, 65, 0, 0, 20, false, 1, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVBadPath(t *testing.T) {
+	if err := runWithOutputs("ring", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, "/nonexistent/dir/x.csv", "", false); err == nil {
+		t.Fatal("bad CSV path accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGenerated(t *testing.T) {
+	if err := run("", 32, 3, 10, 64, 2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	if err := run("", 8, 2, 5, 128, 4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecFile(t *testing.T) {
+	doc := `{"topology":"linear","switches":4,"hosts":{"a":0,"b":3},
+		"flows":[{"class":"TS","count":8,"src":"a","dst":"b","period_us":10000}]}`
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0, 0, 0, 0, 2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingSpec(t *testing.T) {
+	if err := run("/nonexistent.json", 0, 0, 0, 0, 2, false); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}
+
+func TestRunInfeasible(t *testing.T) {
+	// 4000 large flows in a 1 ms period cannot be scheduled.
+	if err := run("", 4000, 3, 1, 1500, 2, false); err == nil {
+		t.Fatal("infeasible workload accepted")
+	}
+}

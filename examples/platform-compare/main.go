@@ -1,0 +1,62 @@
+// Platform-compare demonstrates the platform-independence of the
+// customization APIs: the same Table II parameter set is priced on the
+// FPGA BRAM model (18/36 Kb blocks, the paper's Zynq 7020 target) and
+// on an exact-size ASIC SRAM model. It also prints the five function
+// templates with their Fig. 5 submodule structure.
+//
+// Run: go run ./examples/platform-compare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tsnbuilder/tsnbuilder/tsnbuilder"
+)
+
+func main() {
+	fmt.Println("TSN-Builder function templates (Fig. 5):")
+	for _, t := range tsnbuilder.AllTemplates() {
+		fmt.Printf("  %-15s", t)
+		for i, sub := range t.Submodules() {
+			if i > 0 {
+				fmt.Print(" → ")
+			} else {
+				fmt.Print(" ")
+			}
+			fmt.Print(sub)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// One parameter set — the paper's ring customization — priced on
+	// two platforms through the same APIs.
+	cfg := tsnbuilder.PaperCustomizedConfig(1)
+	for _, platform := range []tsnbuilder.Platform{tsnbuilder.FPGA{}, tsnbuilder.ASIC{}} {
+		design, err := tsnbuilder.BuilderFor(cfg, platform).Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(design.Report.String())
+		fmt.Println()
+	}
+
+	// A reduced design: a pure CQF switch without the Egress Sched
+	// template (no CBS) — template selection drops its tables.
+	reduced, err := tsnbuilder.NewBuilder(tsnbuilder.FPGA{}).
+		Select(tsnbuilder.TemplateTimeSync, tsnbuilder.TemplatePacketSwitch,
+			tsnbuilder.TemplateIngressFilter, tsnbuilder.TemplateGateCtrl).
+		SetSwitchTbl(1024, 0).
+		SetClassTbl(1024).
+		SetMeterTbl(1024).
+		SetGateTbl(2, 8, 1).
+		SetQueues(12, 8, 1).
+		SetBuffers(96, 1).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced design (no Egress Sched): %.0fKb with templates %v\n",
+		reduced.Report.TotalKb(), reduced.Templates)
+}

@@ -1,0 +1,3 @@
+module github.com/tsnbuilder/tsnbuilder
+
+go 1.22

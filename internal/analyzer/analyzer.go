@@ -1,0 +1,273 @@
+// Package analyzer is the software counterpart of the paper's TSN
+// analyzer box: it receives TS/RC/BE flows at the network edge and
+// computes per-flow and aggregate latency, jitter and packet loss —
+// the three metrics of the paper's §IV.C evaluation. Jitter is reported
+// as the standard deviation of latency, the paper's definition.
+package analyzer
+
+import (
+	"math"
+	"sort"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// FlowStats accumulates one flow's receive-side statistics.
+type FlowStats struct {
+	FlowID   uint32
+	Class    ethernet.Class
+	Received uint64
+	// Latency accumulators in float ns (sums of large ns values can
+	// overflow int64 squared).
+	sumLat   float64
+	sumLatSq float64
+	MinLat   sim.Time
+	MaxLat   sim.Time
+	// DeadlineMisses counts frames whose latency exceeded the flow's
+	// deadline (set via SetDeadline).
+	DeadlineMisses uint64
+	deadline       sim.Time
+	// SeqGaps counts sequence numbers skipped on arrival (in-path
+	// loss positions); Reordered counts arrivals at or below the last
+	// seen sequence number. A correct single-path TSN dataplane never
+	// reorders.
+	SeqGaps   uint64
+	Reordered uint64
+	lastSeq   uint32
+	seenSeq   bool
+}
+
+// MeanLatency returns the average latency.
+func (f *FlowStats) MeanLatency() sim.Time {
+	if f.Received == 0 {
+		return 0
+	}
+	return sim.Time(f.sumLat / float64(f.Received))
+}
+
+// Jitter returns the standard deviation of latency.
+func (f *FlowStats) Jitter() sim.Time {
+	if f.Received < 2 {
+		return 0
+	}
+	n := float64(f.Received)
+	mean := f.sumLat / n
+	variance := f.sumLatSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return sim.Time(math.Sqrt(variance))
+}
+
+// sampleCap bounds the per-class latency sample store used for
+// percentiles. Beyond it, samples are decimated deterministically
+// (every other retained sample is dropped and the stride doubles),
+// which keeps quantile estimates stable for arbitrarily long runs.
+const sampleCap = 1 << 16
+
+// classSamples keeps a strided latency sample set for one class.
+type classSamples struct {
+	samples []sim.Time
+	stride  uint64 // keep one sample in 2^stride
+	count   uint64
+}
+
+func (c *classSamples) add(lat sim.Time) {
+	c.count++
+	if c.count&((1<<c.stride)-1) != 0 {
+		return
+	}
+	if len(c.samples) >= sampleCap {
+		// Decimate in place: keep every other sample.
+		kept := c.samples[:0]
+		for i := 0; i < len(c.samples); i += 2 {
+			kept = append(kept, c.samples[i])
+		}
+		c.samples = kept
+		c.stride++
+		if c.count&((1<<c.stride)-1) != 0 {
+			return
+		}
+	}
+	c.samples = append(c.samples, lat)
+}
+
+// quantile returns the q-quantile (0..1) of the retained samples.
+func (c *classSamples) quantile(q float64) sim.Time {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Time(nil), c.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Collector receives frames and maintains statistics. It implements
+// the receive half of a TSNNic endpoint.
+type Collector struct {
+	perFlow  map[uint32]*FlowStats
+	perClass map[ethernet.Class]*classSamples
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		perFlow:  make(map[uint32]*FlowStats),
+		perClass: make(map[ethernet.Class]*classSamples),
+	}
+}
+
+// SetDeadline registers flowID's deadline for miss accounting.
+func (c *Collector) SetDeadline(flowID uint32, d sim.Time) {
+	c.stats(flowID).deadline = d
+}
+
+// RegisterFlow pre-registers a flow's class so fully-lost flows (zero
+// receives) still count toward their class's Sent/Lost totals.
+func (c *Collector) RegisterFlow(flowID uint32, cls ethernet.Class) {
+	c.stats(flowID).Class = cls
+}
+
+func (c *Collector) stats(flowID uint32) *FlowStats {
+	st, ok := c.perFlow[flowID]
+	if !ok {
+		st = &FlowStats{FlowID: flowID, MinLat: math.MaxInt64}
+		c.perFlow[flowID] = st
+	}
+	return st
+}
+
+// Record ingests one frame arriving at the given instant. Latency is
+// measured from the tester timestamp the generator stamped at
+// injection.
+func (c *Collector) Record(f *ethernet.Frame, arrival sim.Time) {
+	st := c.stats(f.FlowID)
+	st.Class = f.Class
+	lat := arrival - f.SentAt
+	if lat < 0 {
+		lat = 0
+	}
+	st.Received++
+	st.sumLat += float64(lat)
+	st.sumLatSq += float64(lat) * float64(lat)
+	if lat < st.MinLat {
+		st.MinLat = lat
+	}
+	if lat > st.MaxLat {
+		st.MaxLat = lat
+	}
+	if st.deadline > 0 && lat > st.deadline {
+		st.DeadlineMisses++
+	}
+	if !st.seenSeq {
+		st.seenSeq = true
+		st.SeqGaps += uint64(f.Seq) // frames lost before the first arrival
+	} else if f.Seq > st.lastSeq+1 {
+		st.SeqGaps += uint64(f.Seq - st.lastSeq - 1)
+	} else if f.Seq <= st.lastSeq {
+		st.Reordered++
+	}
+	if f.Seq > st.lastSeq || !st.seenSeq {
+		st.lastSeq = f.Seq
+	}
+	cs, ok := c.perClass[f.Class]
+	if !ok {
+		cs = &classSamples{}
+		c.perClass[f.Class] = cs
+	}
+	cs.add(lat)
+}
+
+// Flow returns flowID's statistics, or nil if nothing arrived.
+func (c *Collector) Flow(flowID uint32) *FlowStats {
+	st, ok := c.perFlow[flowID]
+	if !ok {
+		return nil
+	}
+	return st
+}
+
+// Flows returns all flow statistics sorted by flow ID.
+func (c *Collector) Flows() []*FlowStats {
+	out := make([]*FlowStats, 0, len(c.perFlow))
+	for _, st := range c.perFlow {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
+	return out
+}
+
+// Summary aggregates statistics across flows of one class.
+type Summary struct {
+	Class    ethernet.Class
+	Flows    int
+	Received uint64
+	Sent     uint64
+	Lost     uint64
+	LossRate float64
+	// MeanLatency / Jitter pool every frame of the class.
+	MeanLatency    sim.Time
+	Jitter         sim.Time
+	MinLat, MaxLat sim.Time
+	// P50/P99 are latency quantiles over (possibly decimated) class
+	// samples.
+	P50, P99       sim.Time
+	DeadlineMisses uint64
+}
+
+// Summarize pools all flows of class cls. sent maps flowID to the
+// generator's transmit count (for loss accounting); unknown flows count
+// zero sent.
+func (c *Collector) Summarize(cls ethernet.Class, sent map[uint32]uint64) Summary {
+	s := Summary{Class: cls, MinLat: math.MaxInt64}
+	var sumLat, sumSq float64
+	for _, st := range c.perFlow {
+		if st.Class != cls {
+			continue
+		}
+		s.Flows++
+		if st.Received == 0 {
+			continue // registered but fully lost: no latency samples
+		}
+		s.Received += st.Received
+		sumLat += st.sumLat
+		sumSq += st.sumLatSq
+		if st.MinLat < s.MinLat {
+			s.MinLat = st.MinLat
+		}
+		if st.MaxLat > s.MaxLat {
+			s.MaxLat = st.MaxLat
+		}
+		s.DeadlineMisses += st.DeadlineMisses
+	}
+	for id, n := range sent {
+		if st, ok := c.perFlow[id]; ok && st.Class == cls {
+			s.Sent += n
+		}
+	}
+	if s.Sent > s.Received {
+		s.Lost = s.Sent - s.Received
+	}
+	if s.Sent > 0 {
+		s.LossRate = float64(s.Lost) / float64(s.Sent)
+	}
+	if s.Received > 0 {
+		n := float64(s.Received)
+		mean := sumLat / n
+		s.MeanLatency = sim.Time(mean)
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		s.Jitter = sim.Time(math.Sqrt(variance))
+	} else {
+		s.MinLat = 0
+	}
+	if cs, ok := c.perClass[cls]; ok {
+		s.P50 = cs.quantile(0.50)
+		s.P99 = cs.quantile(0.99)
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+// Package buffering models the two memory resources the paper's
+// customization targets hardest: the per-queue metadata FIFOs ("queue
+// stores packet descriptor") and the per-port packet buffer pools
+// ("buffer stores packet payload"). Queue depth and buffer count are
+// the parameters of the set_queues / set_buffers customization APIs;
+// when either is exhausted the frame is dropped, which is exactly the
+// failure mode Table I's Case study probes.
+package buffering
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// SlotBytes is the payload capacity of one packet buffer, sized to hold
+// an MTU frame (paper §IV.B: "The size of the packet buffer is 2048B").
+const SlotBytes = 2048
+
+// Descriptor is the 32-bit metadata word a queue holds for each packet:
+// a buffer reference plus bookkeeping. We carry the frame pointer for
+// the simulation and the slot index for pool accounting.
+type Descriptor struct {
+	Frame      *ethernet.Frame
+	Slot       int
+	EnqueuedAt sim.Time
+}
+
+// Pool is a port's packet buffer pool with a fixed number of SlotBytes
+// slots.
+type Pool struct {
+	capacity int
+	free     []int // LIFO free list of slot indices
+	inUse    int
+	// highWater tracks the worst-case simultaneous occupancy, the
+	// number a dimensioning pass would need.
+	highWater int
+	// allocFail counts allocation failures (drops due to buffer
+	// exhaustion).
+	allocFail uint64
+}
+
+// NewPool returns a pool of capacity slots.
+func NewPool(capacity int) *Pool {
+	if capacity < 0 {
+		panic("buffering: negative pool capacity")
+	}
+	p := &Pool{capacity: capacity, free: make([]int, capacity)}
+	for i := range p.free {
+		p.free[i] = capacity - 1 - i // pop order 0,1,2,...
+	}
+	return p
+}
+
+// Capacity returns the configured number of slots.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// InUse returns the number of currently allocated slots.
+func (p *Pool) InUse() int { return p.inUse }
+
+// HighWater returns the worst-case simultaneous occupancy seen.
+func (p *Pool) HighWater() int { return p.highWater }
+
+// AllocFailures returns how many allocations failed.
+func (p *Pool) AllocFailures() uint64 { return p.allocFail }
+
+// Alloc reserves a slot for a frame of wireBytes. It fails if the frame
+// exceeds SlotBytes (a hardware buffer cannot hold it) or the pool is
+// exhausted.
+func (p *Pool) Alloc(wireBytes int) (slot int, ok bool) {
+	if wireBytes > SlotBytes {
+		p.allocFail++
+		return -1, false
+	}
+	if len(p.free) == 0 {
+		p.allocFail++
+		return -1, false
+	}
+	slot = p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.inUse++
+	if p.inUse > p.highWater {
+		p.highWater = p.inUse
+	}
+	return slot, true
+}
+
+// Free releases a slot back to the pool.
+func (p *Pool) Free(slot int) {
+	if slot < 0 || slot >= p.capacity {
+		panic(fmt.Sprintf("buffering: Free of invalid slot %d", slot))
+	}
+	for _, f := range p.free {
+		if f == slot {
+			panic(fmt.Sprintf("buffering: double Free of slot %d", slot))
+		}
+	}
+	p.free = append(p.free, slot)
+	p.inUse--
+}
+
+// Queue is a fixed-depth FIFO of descriptors: the hardware per-queue
+// metadata memory.
+type Queue struct {
+	depth int
+	ring  []Descriptor
+	head  int
+	count int
+	// highWater tracks the worst-case depth reached.
+	highWater int
+	// rejects counts failed pushes (queue-full drops).
+	rejects uint64
+}
+
+// NewQueue returns a queue holding at most depth descriptors.
+func NewQueue(depth int) *Queue {
+	if depth <= 0 {
+		panic("buffering: non-positive queue depth")
+	}
+	return &Queue{depth: depth, ring: make([]Descriptor, depth)}
+}
+
+// Depth returns the configured capacity.
+func (q *Queue) Depth() int { return q.depth }
+
+// Len returns the number of queued descriptors.
+func (q *Queue) Len() int { return q.count }
+
+// HighWater returns the worst-case occupancy seen.
+func (q *Queue) HighWater() int { return q.highWater }
+
+// Rejects returns the number of failed pushes.
+func (q *Queue) Rejects() uint64 { return q.rejects }
+
+// Push appends d. It reports false (and drops) when the queue is full.
+func (q *Queue) Push(d Descriptor) bool {
+	if q.count == q.depth {
+		q.rejects++
+		return false
+	}
+	q.ring[(q.head+q.count)%q.depth] = d
+	q.count++
+	if q.count > q.highWater {
+		q.highWater = q.count
+	}
+	return true
+}
+
+// Peek returns the head descriptor without removing it.
+func (q *Queue) Peek() (Descriptor, bool) {
+	if q.count == 0 {
+		return Descriptor{}, false
+	}
+	return q.ring[q.head], true
+}
+
+// Pop removes and returns the head descriptor.
+func (q *Queue) Pop() (Descriptor, bool) {
+	if q.count == 0 {
+		return Descriptor{}, false
+	}
+	d := q.ring[q.head]
+	q.ring[q.head] = Descriptor{}
+	q.head = (q.head + 1) % q.depth
+	q.count--
+	return d, true
+}

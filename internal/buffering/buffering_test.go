@@ -1,0 +1,259 @@
+package buffering
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool(2)
+	s1, ok := p.Alloc(64)
+	if !ok {
+		t.Fatal("alloc 1 failed")
+	}
+	s2, ok := p.Alloc(1522)
+	if !ok {
+		t.Fatal("alloc 2 failed")
+	}
+	if s1 == s2 {
+		t.Fatal("duplicate slot")
+	}
+	if _, ok := p.Alloc(64); ok {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	p.Free(s1)
+	if _, ok := p.Alloc(64); !ok {
+		t.Fatal("alloc after free failed")
+	}
+	if p.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", p.InUse())
+	}
+}
+
+func TestPoolOversizeFrame(t *testing.T) {
+	p := NewPool(4)
+	if _, ok := p.Alloc(SlotBytes + 1); ok {
+		t.Fatal("oversize frame allocated")
+	}
+	if p.AllocFailures() != 1 {
+		t.Fatalf("AllocFailures = %d", p.AllocFailures())
+	}
+}
+
+func TestPoolHighWater(t *testing.T) {
+	p := NewPool(8)
+	slots := []int{}
+	for i := 0; i < 5; i++ {
+		s, _ := p.Alloc(64)
+		slots = append(slots, s)
+	}
+	for _, s := range slots {
+		p.Free(s)
+	}
+	if p.HighWater() != 5 {
+		t.Fatalf("HighWater = %d, want 5", p.HighWater())
+	}
+	if p.InUse() != 0 {
+		t.Fatalf("InUse = %d, want 0", p.InUse())
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool(2)
+	s, _ := p.Alloc(64)
+	p.Free(s)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Free did not panic")
+		}
+	}()
+	p.Free(s)
+}
+
+func TestPoolInvalidFreePanics(t *testing.T) {
+	p := NewPool(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid Free did not panic")
+		}
+	}()
+	p.Free(7)
+}
+
+func TestPoolZeroCapacity(t *testing.T) {
+	p := NewPool(0)
+	if _, ok := p.Alloc(64); ok {
+		t.Fatal("alloc from empty pool succeeded")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	for i := 0; i < 4; i++ {
+		if !q.Push(Descriptor{Slot: i}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(Descriptor{Slot: 99}) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if q.Rejects() != 1 {
+		t.Fatalf("Rejects = %d", q.Rejects())
+	}
+	for i := 0; i < 4; i++ {
+		d, ok := q.Pop()
+		if !ok || d.Slot != i {
+			t.Fatalf("pop %d = (%+v,%v)", i, d, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestQueueWrapAround(t *testing.T) {
+	q := NewQueue(3)
+	for round := 0; round < 10; round++ {
+		if !q.Push(Descriptor{Slot: round}) {
+			t.Fatal("push failed")
+		}
+		d, ok := q.Pop()
+		if !ok || d.Slot != round {
+			t.Fatalf("round %d: pop = (%+v,%v)", round, d, ok)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	q := NewQueue(2)
+	if _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	q.Push(Descriptor{Slot: 7})
+	d, ok := q.Peek()
+	if !ok || d.Slot != 7 {
+		t.Fatal("peek wrong")
+	}
+	if q.Len() != 1 {
+		t.Fatal("peek consumed the descriptor")
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(Descriptor{})
+	q.Push(Descriptor{})
+	q.Pop()
+	q.Push(Descriptor{})
+	if q.HighWater() != 2 {
+		t.Fatalf("HighWater = %d, want 2", q.HighWater())
+	}
+}
+
+func TestQueueInvalidDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero depth did not panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+func TestNegativePoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative capacity did not panic")
+		}
+	}()
+	NewPool(-1)
+}
+
+// Property: the queue preserves FIFO order and never exceeds its depth
+// under arbitrary push/pop interleavings.
+func TestQueueFIFOProperty(t *testing.T) {
+	prop := func(ops []bool, depthRaw uint8) bool {
+		depth := int(depthRaw%16) + 1
+		q := NewQueue(depth)
+		next := 0   // next value to push
+		expect := 0 // next value expected from pop
+		for _, push := range ops {
+			if push {
+				if q.Push(Descriptor{Slot: next}) {
+					next++
+				}
+			} else if d, ok := q.Pop(); ok {
+				if d.Slot != expect {
+					return false
+				}
+				expect++
+			}
+			if q.Len() > depth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the pool never hands out the same slot twice concurrently.
+func TestPoolUniqueSlotsProperty(t *testing.T) {
+	prop := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw % 16)
+		p := NewPool(capacity)
+		held := map[int]bool{}
+		var order []int
+		for _, alloc := range ops {
+			if alloc {
+				if s, ok := p.Alloc(64); ok {
+					if held[s] {
+						return false
+					}
+					held[s] = true
+					order = append(order, s)
+				}
+			} else if len(order) > 0 {
+				s := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(held, s)
+				p.Free(s)
+			}
+			if p.InUse() != len(held) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HighWater never decreases and always bounds InUse.
+func TestPoolHighWaterProperty(t *testing.T) {
+	prop := func(ops []bool) bool {
+		p := NewPool(16)
+		var held []int
+		prevHW := 0
+		for _, alloc := range ops {
+			if alloc {
+				if s, ok := p.Alloc(64); ok {
+					held = append(held, s)
+				}
+			} else if len(held) > 0 {
+				p.Free(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if p.HighWater() < prevHW || p.HighWater() < p.InUse() {
+				return false
+			}
+			prevHW = p.HighWater()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

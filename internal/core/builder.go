@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/resource"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+)
+
+// Config is the complete resource specification a Builder accumulates:
+// one value per customization-API parameter of Table II, plus the gate
+// timing the Gate Ctrl template needs.
+type Config struct {
+	// set_switch_tbl
+	UnicastSize   int
+	MulticastSize int
+	// set_class_tbl
+	ClassSize int
+	// set_meter_tbl
+	MeterSize int
+	// set_gate_tbl
+	GateSize int
+	QueueNum int
+	PortNum  int
+	// set_cbs_tbl
+	CBSMapSize int
+	CBSSize    int
+	// set_queues
+	QueueDepth int
+	// set_buffers
+	BufferNum int
+
+	// SlotSize is the gate time slot (65 µs in the evaluation).
+	SlotSize sim.Time
+	// LinkRate is the port line rate (1 Gbps in the evaluation).
+	LinkRate ethernet.Rate
+}
+
+// Builder accumulates a Config through the Table II APIs. Methods
+// chain; errors accumulate and surface at Build, matching how a
+// hardware generator validates a whole parameter file.
+type Builder struct {
+	platform Platform
+	cfg      Config
+	set      map[string]bool
+	selected map[Template]bool
+	errs     []error
+}
+
+// NewBuilder starts a customization against platform (nil selects the
+// default FPGA platform). All five templates start selected; use
+// Select to restrict.
+func NewBuilder(platform Platform) *Builder {
+	if platform == nil {
+		platform = FPGA{}
+	}
+	b := &Builder{
+		platform: platform,
+		set:      make(map[string]bool),
+		selected: make(map[Template]bool),
+	}
+	for _, t := range AllTemplates() {
+		b.selected[t] = true
+	}
+	b.cfg.SlotSize = 65 * sim.Microsecond
+	b.cfg.LinkRate = ethernet.Gbps
+	return b
+}
+
+// Select restricts the design to the given templates. APIs touching an
+// unselected template fail at Build.
+func (b *Builder) Select(ts ...Template) *Builder {
+	for t := range b.selected {
+		b.selected[t] = false
+	}
+	for _, t := range ts {
+		b.selected[t] = true
+	}
+	return b
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+func (b *Builder) need(t Template, api string) {
+	if !b.selected[t] {
+		b.errf("core: %s called but template %q not selected", api, t)
+	}
+	b.set[api] = true
+}
+
+// SetSwitchTbl implements set_switch_tbl(unicast_size, multicast_size).
+func (b *Builder) SetSwitchTbl(unicastSize, multicastSize int) *Builder {
+	b.need(TemplatePacketSwitch, "set_switch_tbl")
+	if unicastSize < 0 || multicastSize < 0 {
+		b.errf("core: set_switch_tbl negative size (%d, %d)", unicastSize, multicastSize)
+	}
+	b.cfg.UnicastSize, b.cfg.MulticastSize = unicastSize, multicastSize
+	return b
+}
+
+// SetClassTbl implements set_class_tbl(class_size).
+func (b *Builder) SetClassTbl(classSize int) *Builder {
+	b.need(TemplateIngressFilter, "set_class_tbl")
+	if classSize < 0 {
+		b.errf("core: set_class_tbl negative size %d", classSize)
+	}
+	b.cfg.ClassSize = classSize
+	return b
+}
+
+// SetMeterTbl implements set_meter_tbl(meter_size).
+func (b *Builder) SetMeterTbl(meterSize int) *Builder {
+	b.need(TemplateIngressFilter, "set_meter_tbl")
+	if meterSize < 0 {
+		b.errf("core: set_meter_tbl negative size %d", meterSize)
+	}
+	b.cfg.MeterSize = meterSize
+	return b
+}
+
+// SetGateTbl implements set_gate_tbl(gate_size, queue_num, port_num).
+func (b *Builder) SetGateTbl(gateSize, queueNum, portNum int) *Builder {
+	b.need(TemplateGateCtrl, "set_gate_tbl")
+	if gateSize < 2 {
+		b.errf("core: set_gate_tbl gate_size %d < 2", gateSize)
+	}
+	b.checkQueueNum("set_gate_tbl", queueNum)
+	b.checkPortNum("set_gate_tbl", portNum)
+	b.cfg.GateSize = gateSize
+	return b
+}
+
+// SetCBSTbl implements set_cbs_tbl(cbs_map_size, cbs_size, port_num).
+func (b *Builder) SetCBSTbl(cbsMapSize, cbsSize, portNum int) *Builder {
+	b.need(TemplateEgressSched, "set_cbs_tbl")
+	if cbsMapSize < 0 || cbsSize < 0 {
+		b.errf("core: set_cbs_tbl negative size (%d, %d)", cbsMapSize, cbsSize)
+	}
+	b.checkPortNum("set_cbs_tbl", portNum)
+	b.cfg.CBSMapSize, b.cfg.CBSSize = cbsMapSize, cbsSize
+	return b
+}
+
+// SetQueues implements set_queues(queue_depth, queue_num, port_num).
+func (b *Builder) SetQueues(queueDepth, queueNum, portNum int) *Builder {
+	b.need(TemplateGateCtrl, "set_queues")
+	if queueDepth <= 0 {
+		b.errf("core: set_queues non-positive depth %d", queueDepth)
+	}
+	b.checkQueueNum("set_queues", queueNum)
+	b.checkPortNum("set_queues", portNum)
+	b.cfg.QueueDepth = queueDepth
+	return b
+}
+
+// SetBuffers implements set_buffers(buffer_num, port_num).
+func (b *Builder) SetBuffers(bufferNum, portNum int) *Builder {
+	b.need(TemplateGateCtrl, "set_buffers")
+	if bufferNum <= 0 {
+		b.errf("core: set_buffers non-positive count %d", bufferNum)
+	}
+	b.checkPortNum("set_buffers", portNum)
+	b.cfg.BufferNum = bufferNum
+	return b
+}
+
+// SetTiming adjusts the gate slot size and port line rate (defaults:
+// 65 µs, 1 Gbps).
+func (b *Builder) SetTiming(slot sim.Time, rate ethernet.Rate) *Builder {
+	if slot <= 0 || rate <= 0 {
+		b.errf("core: SetTiming invalid (%v, %d)", slot, rate)
+	}
+	b.cfg.SlotSize, b.cfg.LinkRate = slot, rate
+	return b
+}
+
+// checkPortNum enforces that every per-port API names the same
+// port_num.
+func (b *Builder) checkPortNum(api string, portNum int) {
+	if portNum <= 0 {
+		b.errf("core: %s non-positive port_num %d", api, portNum)
+		return
+	}
+	if b.cfg.PortNum != 0 && b.cfg.PortNum != portNum {
+		b.errf("core: %s port_num %d conflicts with earlier %d", api, portNum, b.cfg.PortNum)
+		return
+	}
+	b.cfg.PortNum = portNum
+}
+
+func (b *Builder) checkQueueNum(api string, queueNum int) {
+	if queueNum <= 0 || queueNum > 16 {
+		b.errf("core: %s queue_num %d out of range", api, queueNum)
+		return
+	}
+	if b.cfg.QueueNum != 0 && b.cfg.QueueNum != queueNum {
+		b.errf("core: %s queue_num %d conflicts with earlier %d", api, queueNum, b.cfg.QueueNum)
+		return
+	}
+	b.cfg.QueueNum = queueNum
+}
+
+// requiredAPIs maps each selected template to the APIs it needs.
+var requiredAPIs = map[Template][]string{
+	TemplatePacketSwitch:  {"set_switch_tbl"},
+	TemplateIngressFilter: {"set_class_tbl", "set_meter_tbl"},
+	TemplateGateCtrl:      {"set_gate_tbl", "set_queues", "set_buffers"},
+	TemplateEgressSched:   {"set_cbs_tbl"},
+}
+
+// Build validates the accumulated configuration and produces the
+// Design.
+func (b *Builder) Build() (*Design, error) {
+	errs := append([]error(nil), b.errs...)
+	for _, t := range AllTemplates() {
+		if !b.selected[t] {
+			continue
+		}
+		for _, api := range requiredAPIs[t] {
+			if !b.set[api] {
+				errs = append(errs, fmt.Errorf("core: template %q selected but %s never called", t, api))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	var templates []Template
+	for _, t := range AllTemplates() {
+		if b.selected[t] {
+			templates = append(templates, t)
+		}
+	}
+	return &Design{
+		Config:    b.cfg,
+		Templates: templates,
+		Platform:  b.platform,
+		Report:    b.platform.MemoryCost(b.cfg),
+	}, nil
+}
+
+// Design is a completed customization: the configuration, the selected
+// templates and the platform memory report.
+type Design struct {
+	Config    Config
+	Templates []Template
+	Platform  Platform
+	Report    *resource.Report
+}
+
+// SwitchConfig materializes the dataplane configuration for switch id
+// with the given number of instantiated ports. ports may exceed the
+// design's PortNum: access (host-facing) ports exist physically but are
+// outside the TSN resource budget, exactly as the paper counts only
+// "enabled TSN ports".
+func (d *Design) SwitchConfig(id, ports int) tsnswitch.Config {
+	if ports < d.Config.PortNum {
+		ports = d.Config.PortNum
+	}
+	return tsnswitch.Config{
+		ID:             id,
+		Ports:          ports,
+		QueuesPerPort:  d.Config.QueueNum,
+		QueueDepth:     d.Config.QueueDepth,
+		BuffersPerPort: d.Config.BufferNum,
+		UnicastSize:    d.Config.UnicastSize,
+		MulticastSize:  d.Config.MulticastSize,
+		ClassSize:      d.Config.ClassSize,
+		MeterSize:      d.Config.MeterSize,
+		GateSize:       d.Config.GateSize,
+		CBSMapSize:     d.Config.CBSMapSize,
+		CBSSize:        d.Config.CBSSize,
+		SlotSize:       d.Config.SlotSize,
+		TSQueueA:       d.Config.QueueNum - 1,
+		TSQueueB:       d.Config.QueueNum - 2,
+		LinkRate:       d.Config.LinkRate,
+	}
+}

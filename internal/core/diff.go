@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffConfigs reports the parameter-level differences between two
+// configurations — the "regulate the related parameters and reuse
+// these templates" step of §III.C's synthesis stage. An empty result
+// means the designs are identical and nothing needs rebuilding.
+func DiffConfigs(old, new Config) []string {
+	var out []string
+	add := func(api, field string, o, n any) {
+		out = append(out, fmt.Sprintf("%s: %s %v → %v", api, field, o, n))
+	}
+	if old.UnicastSize != new.UnicastSize {
+		add("set_switch_tbl", "unicast_size", old.UnicastSize, new.UnicastSize)
+	}
+	if old.MulticastSize != new.MulticastSize {
+		add("set_switch_tbl", "multicast_size", old.MulticastSize, new.MulticastSize)
+	}
+	if old.ClassSize != new.ClassSize {
+		add("set_class_tbl", "class_size", old.ClassSize, new.ClassSize)
+	}
+	if old.MeterSize != new.MeterSize {
+		add("set_meter_tbl", "meter_size", old.MeterSize, new.MeterSize)
+	}
+	if old.GateSize != new.GateSize {
+		add("set_gate_tbl", "gate_size", old.GateSize, new.GateSize)
+	}
+	if old.QueueNum != new.QueueNum {
+		add("set_gate_tbl/set_queues", "queue_num", old.QueueNum, new.QueueNum)
+	}
+	if old.PortNum != new.PortNum {
+		add("per-port APIs", "port_num", old.PortNum, new.PortNum)
+	}
+	if old.CBSMapSize != new.CBSMapSize {
+		add("set_cbs_tbl", "cbs_map_size", old.CBSMapSize, new.CBSMapSize)
+	}
+	if old.CBSSize != new.CBSSize {
+		add("set_cbs_tbl", "cbs_size", old.CBSSize, new.CBSSize)
+	}
+	if old.QueueDepth != new.QueueDepth {
+		add("set_queues", "queue_depth", old.QueueDepth, new.QueueDepth)
+	}
+	if old.BufferNum != new.BufferNum {
+		add("set_buffers", "buffer_num", old.BufferNum, new.BufferNum)
+	}
+	if old.SlotSize != new.SlotSize {
+		add("timing", "slot_size", old.SlotSize, new.SlotSize)
+	}
+	if old.LinkRate != new.LinkRate {
+		add("timing", "link_rate", old.LinkRate, new.LinkRate)
+	}
+	return out
+}
+
+// String renders the configuration as the customization-API call
+// sequence that reproduces it.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "set_switch_tbl(%d, %d)\n", c.UnicastSize, c.MulticastSize)
+	fmt.Fprintf(&b, "set_class_tbl(%d)\n", c.ClassSize)
+	fmt.Fprintf(&b, "set_meter_tbl(%d)\n", c.MeterSize)
+	fmt.Fprintf(&b, "set_gate_tbl(%d, %d, %d)\n", c.GateSize, c.QueueNum, c.PortNum)
+	fmt.Fprintf(&b, "set_cbs_tbl(%d, %d, %d)\n", c.CBSMapSize, c.CBSSize, c.PortNum)
+	fmt.Fprintf(&b, "set_queues(%d, %d, %d)\n", c.QueueDepth, c.QueueNum, c.PortNum)
+	fmt.Fprintf(&b, "set_buffers(%d, %d)\n", c.BufferNum, c.PortNum)
+	fmt.Fprintf(&b, "timing: slot=%v rate=%dMbps", c.SlotSize, int64(c.LinkRate)/1_000_000)
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDiffConfigsIdentical(t *testing.T) {
+	a := PaperCustomizedConfig(1)
+	if d := DiffConfigs(a, a); len(d) != 0 {
+		t.Fatalf("identical configs diff: %v", d)
+	}
+}
+
+func TestDiffConfigsReportsEveryField(t *testing.T) {
+	a := PaperCustomizedConfig(1)
+	b := a
+	b.UnicastSize = 2048
+	b.MulticastSize = 16
+	b.ClassSize = 2048
+	b.MeterSize = 2048
+	b.GateSize = 4
+	b.QueueNum = 4
+	b.PortNum = 2
+	b.CBSMapSize = 2
+	b.CBSSize = 2
+	b.QueueDepth = 20
+	b.BufferNum = 160
+	b.SlotSize = a.SlotSize * 2
+	b.LinkRate = a.LinkRate / 10
+	d := DiffConfigs(a, b)
+	if len(d) != 13 {
+		t.Fatalf("diff lines = %d, want 13:\n%s", len(d), strings.Join(d, "\n"))
+	}
+	joined := strings.Join(d, "\n")
+	for _, frag := range []string{"set_switch_tbl", "set_class_tbl", "set_meter_tbl",
+		"set_gate_tbl", "set_cbs_tbl", "set_queues", "set_buffers", "slot_size", "link_rate"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("diff missing %q", frag)
+		}
+	}
+}
+
+func TestDiffConfigsScenarioEvolution(t *testing.T) {
+	// The paper's rapid-reconfiguration pitch: doubling the flow count
+	// touches only the table sizes and queue/buffer provisioning, not
+	// the structural parameters.
+	a := PaperCustomizedConfig(1)
+	b := a
+	b.UnicastSize, b.ClassSize, b.MeterSize = 2048, 2048, 2048
+	d := DiffConfigs(a, b)
+	if len(d) != 3 {
+		t.Fatalf("diff = %v", d)
+	}
+	for _, line := range d {
+		if strings.Contains(line, "gate") || strings.Contains(line, "port_num") {
+			t.Fatalf("structural parameter changed: %s", line)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := PaperCustomizedConfig(1).String()
+	for _, frag := range []string{
+		"set_switch_tbl(1024, 0)",
+		"set_gate_tbl(2, 8, 1)",
+		"set_queues(12, 8, 1)",
+		"set_buffers(96, 1)",
+		"slot=65µs",
+		"rate=1000Mbps",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Config.String missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestConfigJSONRoundTrip guards the on-disk representability of a
+// configuration (tooling saves/loads derived designs).
+func TestConfigJSONRoundTrip(t *testing.T) {
+	a := PaperCustomizedConfig(3)
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Config
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", a, b)
+	}
+	if d := DiffConfigs(a, b); len(d) != 0 {
+		t.Fatalf("round trip diff: %v", d)
+	}
+}

@@ -1,0 +1,71 @@
+// Package core implements TSN-Builder, the paper's primary
+// contribution: a template-based developing model that decomposes a TSN
+// switch into five function templates (Fig. 3/5), abstracts every
+// on-chip-memory consumer (Fig. 4), and exposes the seven
+// platform-independent customization APIs of Table II. A Builder
+// collects resource parameters, validates their consistency, and emits
+// a Design: the memory report for the target platform plus the
+// dataplane configuration the simulation templates instantiate.
+package core
+
+import "fmt"
+
+// Template identifies one of the five function templates the paper
+// decomposes a TSN switch into.
+type Template int
+
+// The five templates of Fig. 5.
+const (
+	TemplateTimeSync Template = iota
+	TemplatePacketSwitch
+	TemplateIngressFilter
+	TemplateGateCtrl
+	TemplateEgressSched
+	templateCount
+)
+
+// String implements fmt.Stringer.
+func (t Template) String() string {
+	switch t {
+	case TemplateTimeSync:
+		return "Time Sync"
+	case TemplatePacketSwitch:
+		return "Packet Switch"
+	case TemplateIngressFilter:
+		return "Ingress Filter"
+	case TemplateGateCtrl:
+		return "Gate Ctrl"
+	case TemplateEgressSched:
+		return "Egress Sched"
+	}
+	return fmt.Sprintf("Template(%d)", int(t))
+}
+
+// AllTemplates returns the five templates in pipeline order.
+func AllTemplates() []Template {
+	return []Template{
+		TemplateTimeSync,
+		TemplatePacketSwitch,
+		TemplateIngressFilter,
+		TemplateGateCtrl,
+		TemplateEgressSched,
+	}
+}
+
+// Submodules returns the template's internal decomposition as the paper
+// draws it in Fig. 5.
+func (t Template) Submodules() []string {
+	switch t {
+	case TemplateTimeSync:
+		return []string{"clock time collection", "correction time calculation", "clock correction"}
+	case TemplatePacketSwitch:
+		return []string{"parser", "lookup"}
+	case TemplateIngressFilter:
+		return []string{"classifier", "meters"}
+	case TemplateGateCtrl:
+		return []string{"GCL update", "in-gates", "out-gates"}
+	case TemplateEgressSched:
+		return []string{"strict-priority scheduler", "credit-based shapers"}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package ethernet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// EtherType values used by the testbed.
+const (
+	TypeVLAN uint16 = 0x8100 // 802.1Q tag
+	TypeTSN  uint16 = 0x88B5 // experimental: TS/RC/BE test payloads
+	TypePTP  uint16 = 0x88F7 // gPTP event/general messages
+)
+
+// Frame sizing constants in bytes.
+const (
+	HeaderBytes   = 14 // dst + src + ethertype
+	VLANTagBytes  = 4  // 802.1Q tag
+	FCSBytes      = 4  // CRC32 trailer
+	MinFrameBytes = 64 // minimum on-wire frame (without preamble)
+	MaxFrameBytes = 1522
+	// OverheadBytes is preamble (7) + SFD (1) + inter-frame gap (12):
+	// consumed on the wire per frame but not stored in buffers.
+	OverheadBytes = 20
+)
+
+// Class is the TSN traffic class of a flow, in priority order.
+type Class uint8
+
+// Traffic classes from the paper's §II.A taxonomy.
+const (
+	ClassBE Class = iota // best-effort, lowest priority
+	ClassRC              // rate-constrained, medium priority
+	ClassTS              // time-sensitive, highest priority
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassTS:
+		return "TS"
+	case ClassRC:
+		return "RC"
+	case ClassBE:
+		return "BE"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Frame is one Ethernet frame traversing the simulated network.
+//
+// Dataplane-visible fields mirror the real header (addresses, VLAN ID,
+// PCP priority, EtherType). FlowID, Seq and the timestamps are
+// "tester-side" fields: the hardware TSNNic in the paper embeds them in
+// the payload; we carry them as struct fields and also encode them in
+// the binary payload so that Marshal/Unmarshal is lossless.
+type Frame struct {
+	Dst       MAC
+	Src       MAC
+	VID       uint16 // VLAN ID, 12 bits
+	PCP       uint8  // priority code point, 3 bits
+	EtherType uint16
+	Payload   []byte
+
+	// Tester metadata (encoded in payload for TypeTSN frames).
+	FlowID uint32
+	Seq    uint32
+	Class  Class
+
+	// SentAt is stamped by the generator when the first bit hits the
+	// wire; the analyzer computes latency from it. Not on the wire in
+	// hardware (the tester correlates by FlowID/Seq); carried here for
+	// convenience.
+	SentAt sim.Time
+}
+
+// WireBytes returns the frame's on-wire size excluding preamble/IFG:
+// header + VLAN tag + payload + FCS, padded to the 64-byte minimum.
+func (f *Frame) WireBytes() int {
+	n := HeaderBytes + VLANTagBytes + len(f.Payload) + FCSBytes
+	if n < MinFrameBytes {
+		n = MinFrameBytes
+	}
+	return n
+}
+
+// BufferBytes returns the bytes a switch must store for the frame
+// (same as WireBytes; preamble/IFG are never buffered).
+func (f *Frame) BufferBytes() int { return f.WireBytes() }
+
+// Clone returns a deep copy. Switches forward copies so that per-hop
+// mutation (e.g. PTP correction fields) cannot alias.
+func (f *Frame) Clone() *Frame {
+	g := *f
+	g.Payload = append([]byte(nil), f.Payload...)
+	return &g
+}
+
+// testerHeaderBytes is the encoded size of the tester metadata that
+// Marshal prepends to TypeTSN payloads.
+const testerHeaderBytes = 4 + 4 + 1 + 8
+
+// Marshal encodes the frame to wire format (without preamble/FCS
+// padding bytes are zero). The tester metadata is embedded at the front
+// of the payload for TypeTSN frames, mirroring what the hardware TSNNic
+// does.
+func (f *Frame) Marshal() []byte {
+	body := f.Payload
+	if f.EtherType == TypeTSN {
+		hdr := make([]byte, testerHeaderBytes)
+		binary.BigEndian.PutUint32(hdr[0:], f.FlowID)
+		binary.BigEndian.PutUint32(hdr[4:], f.Seq)
+		hdr[8] = byte(f.Class)
+		binary.BigEndian.PutUint64(hdr[9:], uint64(f.SentAt))
+		body = append(hdr, f.Payload...)
+	}
+	buf := make([]byte, 0, HeaderBytes+VLANTagBytes+len(body))
+	buf = append(buf, f.Dst[:]...)
+	buf = append(buf, f.Src[:]...)
+	var tag [4]byte
+	binary.BigEndian.PutUint16(tag[0:], TypeVLAN)
+	tci := uint16(f.PCP&0x7)<<13 | f.VID&0x0fff
+	binary.BigEndian.PutUint16(tag[2:], tci)
+	buf = append(buf, tag[:]...)
+	var et [2]byte
+	binary.BigEndian.PutUint16(et[:], f.EtherType)
+	buf = append(buf, et[:]...)
+	buf = append(buf, body...)
+	return buf
+}
+
+// Unmarshal decodes a frame previously produced by Marshal.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < HeaderBytes+VLANTagBytes {
+		return nil, errors.New("ethernet: frame too short")
+	}
+	f := &Frame{}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	if binary.BigEndian.Uint16(b[12:14]) != TypeVLAN {
+		return nil, errors.New("ethernet: missing 802.1Q tag")
+	}
+	tci := binary.BigEndian.Uint16(b[14:16])
+	f.PCP = uint8(tci >> 13)
+	f.VID = tci & 0x0fff
+	f.EtherType = binary.BigEndian.Uint16(b[16:18])
+	body := b[18:]
+	if f.EtherType == TypeTSN {
+		if len(body) < testerHeaderBytes {
+			return nil, errors.New("ethernet: truncated tester header")
+		}
+		f.FlowID = binary.BigEndian.Uint32(body[0:])
+		f.Seq = binary.BigEndian.Uint32(body[4:])
+		f.Class = Class(body[8])
+		f.SentAt = sim.Time(binary.BigEndian.Uint64(body[9:]))
+		body = body[testerHeaderBytes:]
+	}
+	f.Payload = append([]byte(nil), body...)
+	return f, nil
+}
+
+// String summarizes the frame for logs.
+func (f *Frame) String() string {
+	return fmt.Sprintf("%s flow=%d seq=%d %s->%s vid=%d pcp=%d %dB",
+		f.Class, f.FlowID, f.Seq, f.Src, f.Dst, f.VID, f.PCP, f.WireBytes())
+}

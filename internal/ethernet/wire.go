@@ -1,0 +1,41 @@
+package ethernet
+
+import "github.com/tsnbuilder/tsnbuilder/internal/sim"
+
+// Rate is a link or flow bandwidth in bits per second.
+type Rate int64
+
+// Common rates.
+const (
+	Mbps Rate = 1_000_000
+	Gbps Rate = 1_000_000_000
+)
+
+// TxTime returns the serialization delay of n on-wire bytes (already
+// including preamble/IFG if the caller wants them) at rate r.
+func TxTime(n int, r Rate) sim.Time {
+	if r <= 0 {
+		panic("ethernet: non-positive rate")
+	}
+	bits := int64(n) * 8
+	// Round up: the frame occupies the wire until its last bit leaves.
+	return sim.Time((bits*int64(sim.Second) + int64(r) - 1) / int64(r))
+}
+
+// FrameTxTime returns the full wire occupancy of frame f at rate r,
+// including preamble, SFD and inter-frame gap. This is the pacing
+// interval between back-to-back frames.
+func FrameTxTime(f *Frame, r Rate) sim.Time {
+	return TxTime(f.WireBytes()+OverheadBytes, r)
+}
+
+// PayloadForWireSize returns the payload length that yields an on-wire
+// frame (excluding preamble/IFG) of exactly size bytes. The paper's
+// packet-size sweep {64,128,...,1500} refers to on-wire frame size.
+func PayloadForWireSize(size int) int {
+	p := size - HeaderBytes - VLANTagBytes - FCSBytes
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

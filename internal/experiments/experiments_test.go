@@ -1,0 +1,488 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+func params(t *testing.T) Params {
+	if testing.Short() {
+		return Params{TSFlows: 64, Duration: 30 * sim.Millisecond, Seed: 42}
+	}
+	return ShortParams()
+}
+
+func TestTableIValues(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].TotalKb != 2304 || rows[1].TotalKb != 1764 {
+		t.Fatalf("totals = %v/%v, want 2304/1764", rows[0].TotalKb, rows[1].TotalKb)
+	}
+	out := FormatTableI(rows)
+	if !strings.Contains(out, "540Kb") {
+		t.Fatalf("missing saving line:\n%s", out)
+	}
+}
+
+func TestTableIIIValues(t *testing.T) {
+	cols, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 4 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	wantTotals := []float64{10818, 5778, 3942, 2106}
+	wantRed := []float64{0, 46.59, 63.56, 80.53}
+	for i, c := range cols {
+		if c.TotalKb != wantTotals[i] {
+			t.Errorf("%s: total %v, want %v", c.Label, c.TotalKb, wantTotals[i])
+		}
+		if math.Abs(c.Reduction-wantRed[i]) > 0.005 {
+			t.Errorf("%s: reduction %.2f, want %.2f", c.Label, c.Reduction, wantRed[i])
+		}
+	}
+	out := FormatTableIII(cols)
+	for _, frag := range []string{"10818Kb", "80.53%", "Switch Tbl", "Buffers"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table III output missing %q", frag)
+		}
+	}
+}
+
+func TestFig7HopsShape(t *testing.T) {
+	p := params(t)
+	s, err := Fig7Hops(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	slot := 65 * sim.Microsecond
+	for i, r := range s.Rows {
+		hops := sim.Time(i + 1)
+		if r.LossRate != 0 {
+			t.Errorf("hops=%d loss %v", i+1, r.LossRate)
+		}
+		// Eq. (1): latency within [(h-1)·slot, (h+1)·slot] (plus sub-
+		// slot wire time).
+		if r.Min < (hops-1)*slot || r.Max > (hops+1)*slot+2*sim.Microsecond {
+			t.Errorf("hops=%d latency [%v,%v] outside CQF bounds", i+1, r.Min, r.Max)
+		}
+		// Monotone growth.
+		if i > 0 && r.Mean <= s.Rows[i-1].Mean {
+			t.Errorf("mean latency not increasing at hops=%d", i+1)
+		}
+	}
+	// Jitter roughly constant: max/min within 2.5x.
+	minJ, maxJ := s.Rows[0].Jitter, s.Rows[0].Jitter
+	for _, r := range s.Rows[1:] {
+		if r.Jitter < minJ {
+			minJ = r.Jitter
+		}
+		if r.Jitter > maxJ {
+			maxJ = r.Jitter
+		}
+	}
+	if minJ > 0 && float64(maxJ)/float64(minJ) > 2.5 {
+		t.Errorf("jitter varies too much across hops: %v..%v", minJ, maxJ)
+	}
+}
+
+func TestFig7SlotShape(t *testing.T) {
+	p := params(t)
+	s, err := Fig7Slot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency and jitter scale with slot size.
+	for i := 1; i < len(s.Rows); i++ {
+		if s.Rows[i].Mean <= s.Rows[i-1].Mean {
+			t.Errorf("mean not increasing with slot at row %d", i)
+		}
+		if s.Rows[i].LossRate != 0 {
+			t.Errorf("slot row %d loss %v", i, s.Rows[i].LossRate)
+		}
+	}
+	// Mean at 520 µs should be ≈ 8× the 65 µs mean (both ≈ 3·slot).
+	ratio := float64(s.Rows[3].Mean) / float64(s.Rows[0].Mean)
+	if ratio < 5 || ratio > 11 {
+		t.Errorf("slot scaling ratio = %.1f, want ~8", ratio)
+	}
+}
+
+func TestFig7BackgroundFlat(t *testing.T) {
+	p := params(t)
+	s, err := Fig7Background(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.Rows[0]
+	for _, r := range s.Rows {
+		if r.LossRate != 0 {
+			t.Errorf("%s: TS loss %v", r.Label, r.LossRate)
+		}
+		diff := float64(r.Mean - base.Mean)
+		if math.Abs(diff) > float64(10*sim.Microsecond) {
+			t.Errorf("%s: mean %v deviates from unloaded %v", r.Label, r.Mean, base.Mean)
+		}
+	}
+}
+
+func TestFig2Flat(t *testing.T) {
+	p := params(t)
+	for _, bg := range []string{"BE", "RC"} {
+		for _, cse := range []int{1, 2} {
+			s, err := Fig2(p, bg, cse)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := s.Rows[0]
+			for _, r := range s.Rows {
+				if r.LossRate != 0 {
+					t.Errorf("%s case %d %s: loss %v", bg, cse, r.Label, r.LossRate)
+				}
+				diff := math.Abs(float64(r.Mean - base.Mean))
+				if diff > float64(10*sim.Microsecond) {
+					t.Errorf("%s case %d %s: mean %v vs base %v", bg, cse, r.Label, r.Mean, base.Mean)
+				}
+			}
+		}
+	}
+}
+
+func TestFig2InvalidArgs(t *testing.T) {
+	p := params(t)
+	if _, err := Fig2(p, "XX", 1); err == nil {
+		t.Error("unknown background accepted")
+	}
+	if _, err := Fig2(p, "BE", 9); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestCommercialVsCustomizedQoS(t *testing.T) {
+	p := params(t)
+	s, err := CommercialVsCustomizedQoS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 2 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	com, cus := s.Rows[0], s.Rows[1]
+	if com.LossRate != 0 || cus.LossRate != 0 {
+		t.Fatalf("loss: %v / %v", com.LossRate, cus.LossRate)
+	}
+	diff := math.Abs(float64(com.Mean - cus.Mean))
+	if diff > float64(10*sim.Microsecond) {
+		t.Fatalf("QoS differs: commercial %v vs customized %v", com.Mean, cus.Mean)
+	}
+}
+
+func TestSyncPrecision(t *testing.T) {
+	res := SyncPrecision(7)
+	if res.SteadyState >= 50*sim.Nanosecond {
+		t.Fatalf("steady-state precision %v, want < 50ns", res.SteadyState)
+	}
+	if res.ConvergedAfter == 0 {
+		t.Fatal("never converged")
+	}
+}
+
+func TestITPAblation(t *testing.T) {
+	p := params(t)
+	rows, err := ITPAblation(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 strategies", len(rows))
+	}
+	naive, planned := rows[0], rows[len(rows)-1]
+	if planned.Occupancy >= naive.Occupancy {
+		t.Fatalf("ITP did not reduce occupancy: %d vs %d", planned.Occupancy, naive.Occupancy)
+	}
+	if planned.QueueBufKb >= naive.QueueBufKb {
+		t.Fatalf("ITP did not reduce BRAM: %v vs %v", planned.QueueBufKb, naive.QueueBufKb)
+	}
+	// Greedy must be at least as good as every blind strategy.
+	for _, r := range rows[:3] {
+		if planned.Occupancy > r.Occupancy {
+			t.Fatalf("greedy (%d) worse than %s (%d)", planned.Occupancy, r.Strategy, r.Occupancy)
+		}
+	}
+	out := FormatITP(rows)
+	if !strings.Contains(out, "ITP (greedy)") {
+		t.Fatal("format missing rows")
+	}
+}
+
+func TestPlatformAblation(t *testing.T) {
+	rows, err := PlatformAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].TotalKb >= rows[0].TotalKb {
+		t.Fatalf("ASIC (%v) not below FPGA (%v)", rows[1].TotalKb, rows[0].TotalKb)
+	}
+}
+
+func TestThresholdStudyKnee(t *testing.T) {
+	// The knee position depends on per-slot occupancy, so this test
+	// needs the paper-scale flow count; the window can stay short.
+	p := params(t)
+	p.TSFlows = 1024
+	rows, err := ThresholdStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Depth 1 must lose packets; the largest depths must not.
+	if rows[0].TSLossRate == 0 {
+		t.Error("depth 1 shows no loss — threshold invisible")
+	}
+	last := rows[len(rows)-1]
+	if last.TSLossRate != 0 {
+		t.Errorf("depth %d still losing %.2f%%", last.QueueDepth, 100*last.TSLossRate)
+	}
+	// Loss is monotonically non-increasing with depth.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TSLossRate > rows[i-1].TSLossRate+1e-9 {
+			t.Errorf("loss increased from depth %d to %d", rows[i-1].QueueDepth, rows[i].QueueDepth)
+		}
+	}
+	// Above the threshold, latency is identical: extra memory is free.
+	var atThreshold *ThresholdRow
+	for i := range rows {
+		if rows[i].TSLossRate == 0 {
+			atThreshold = &rows[i]
+			break
+		}
+	}
+	if atThreshold == nil {
+		t.Fatal("never reached zero loss")
+	}
+	if d := last.MeanLat - atThreshold.MeanLat; d > sim.Microsecond || d < -sim.Microsecond {
+		t.Errorf("latency changed above threshold: %v vs %v", atThreshold.MeanLat, last.MeanLat)
+	}
+	out := FormatThreshold(rows)
+	if !strings.Contains(out, "E-THRESHOLD") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestNoITPStudy(t *testing.T) {
+	p := params(t)
+	planned, naive, err := NoITPStudy(p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.TSLossRate != 0 {
+		t.Errorf("planned injection lost %.2f%%", 100*planned.TSLossRate)
+	}
+	if naive.TSLossRate <= planned.TSLossRate {
+		t.Errorf("naive injection (%.2f%%) not worse than planned (%.2f%%)",
+			100*naive.TSLossRate, 100*planned.TSLossRate)
+	}
+	if naive.HighWater < planned.HighWater {
+		t.Errorf("naive high water %d below planned %d", naive.HighWater, planned.HighWater)
+	}
+}
+
+func TestTASvsCQF(t *testing.T) {
+	p := params(t)
+	rows, err := TASvsCQF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cqf, tasRow := rows[0], rows[1]
+	if cqf.LossRate != 0 || tasRow.LossRate != 0 {
+		t.Fatalf("loss: cqf %v tas %v", cqf.LossRate, tasRow.LossRate)
+	}
+	// TAS removes the slot quantization: an order of magnitude lower
+	// latency and jitter.
+	if tasRow.Mean*10 > cqf.Mean {
+		t.Errorf("TAS mean %v not ≪ CQF mean %v", tasRow.Mean, cqf.Mean)
+	}
+	if tasRow.Jitter*5 > cqf.Jitter {
+		t.Errorf("TAS jitter %v not ≪ CQF jitter %v", tasRow.Jitter, cqf.Jitter)
+	}
+	// The price: gate tables grow well beyond CQF's 2 entries.
+	if tasRow.GateEntries <= cqf.GateEntries {
+		t.Errorf("TAS gate entries %d not above CQF's %d", tasRow.GateEntries, cqf.GateEntries)
+	}
+	if !strings.Contains(FormatTAS(rows), "E-TAS") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSMSStudy(t *testing.T) {
+	p := params(t)
+	rows, err := SMSStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPort, shared := rows[0], rows[1]
+	if perPort.TSLossRate != 0 || shared.TSLossRate != 0 {
+		t.Fatalf("loss: per-port %v shared %v", perPort.TSLossRate, shared.TSLossRate)
+	}
+	// Statistical multiplexing: the shared pool carries the same
+	// traffic with fewer total buffers.
+	if shared.BufferTotal >= perPort.BufferTotal {
+		t.Errorf("shared %d buffers not below per-port %d", shared.BufferTotal, perPort.BufferTotal)
+	}
+	if shared.BufferKb >= perPort.BufferKb {
+		t.Errorf("shared BRAM %v not below per-port %v", shared.BufferKb, perPort.BufferKb)
+	}
+	if !strings.Contains(FormatSMS(rows), "E-SMS") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestDesyncStudy(t *testing.T) {
+	p := params(t)
+	p.TSFlows = 512 // enough load to make boundary straddling visible
+	rows, err := DesyncStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Offset != 0 {
+		t.Fatal("first row must be the synchronized baseline")
+	}
+	if rows[0].LossRate != 0 || rows[0].BoundBreak {
+		t.Fatalf("synchronized baseline degraded: %+v", rows[0])
+	}
+	// Some nonzero offset must inflate jitter over the baseline
+	// (boundary straddling splits frames across departure slots).
+	inflated := false
+	for _, r := range rows[1:] {
+		if float64(r.Jitter) > 1.3*float64(rows[0].Jitter) {
+			inflated = true
+		}
+	}
+	if !inflated {
+		t.Error("no desync offset inflated jitter — study not sensitive")
+	}
+	if !strings.Contains(FormatDesync(rows), "E-DESYNC") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestDeadlineStudy(t *testing.T) {
+	p := params(t)
+	rows, err := DeadlineStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 65 µs every deadline class holds.
+	if rows[0].MissRate != 0 {
+		t.Fatalf("misses at 65µs slot: %v", rows[0].MissRate)
+	}
+	// At 520 µs the 1 ms deadline class must miss: the Eq. (1) upper
+	// bound (2.08 ms) exceeds it.
+	last := rows[len(rows)-1]
+	if last.MissRate == 0 {
+		t.Fatal("no misses at 520µs slot — deadline accounting inert")
+	}
+	// Misses grow (weakly) with the slot.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MissRate < rows[i-1].MissRate-1e-9 {
+			t.Fatalf("miss rate decreased at %v", rows[i].Slot)
+		}
+	}
+	if !strings.Contains(FormatDeadline(rows), "E-DEADLINE") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestCBSStudy(t *testing.T) {
+	p := params(t)
+	rows, err := CBSStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, shaped := rows[0], rows[1]
+	// CBS spreads the RC burst: RC latency rises…
+	if shaped.RCMean <= bare.RCMean {
+		t.Errorf("CBS did not delay the shaped class: %v vs %v", shaped.RCMean, bare.RCMean)
+	}
+	// …and the BE tail collapses.
+	if float64(shaped.BEP99)*2 > float64(bare.BEP99) {
+		t.Errorf("CBS did not protect BE tail: p99 %v vs %v", shaped.BEP99, bare.BEP99)
+	}
+	if bare.BELoss != 0 || shaped.BELoss != 0 {
+		t.Errorf("unexpected BE loss: %v / %v", bare.BELoss, shaped.BELoss)
+	}
+	if !strings.Contains(FormatCBS(rows), "E-CBS") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestPreemptStudy(t *testing.T) {
+	p := params(t)
+	rows, err := PreemptStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, preempt := rows[0], rows[1]
+	// Without preemption the worst case includes one full 1500 B frame
+	// (~12.2 µs at 1 Gbps).
+	if plain.TSMax < 11*sim.Microsecond {
+		t.Errorf("baseline max %v misses the MTU blocking", plain.TSMax)
+	}
+	// With preemption the blocking collapses below 3 µs.
+	if preempt.TSMax > 3*sim.Microsecond {
+		t.Errorf("preemptive max %v, want < 3µs", preempt.TSMax)
+	}
+	if preempt.TSMean*3 > plain.TSMean {
+		t.Errorf("preemption gain too small: %v vs %v", preempt.TSMean, plain.TSMean)
+	}
+	if !strings.Contains(FormatPreempt(rows), "E-PREEMPT") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestRateStudy(t *testing.T) {
+	p := params(t)
+	rows, err := RateStudy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows[0].Feasible || rows[0].TSLossRate != 0 {
+		t.Fatalf("gigabit row degraded: %+v", rows[0])
+	}
+	last := rows[len(rows)-1] // 10 Mbps: frame tx > slot
+	if last.Feasible {
+		t.Fatal("10 Mbps flagged feasible")
+	}
+	if last.TSLossRate < 0.99 {
+		t.Fatalf("10 Mbps loss = %v, want ~100%% (guard band never opens)", last.TSLossRate)
+	}
+	// Latency grows as the access rate falls (while feasible).
+	if rows[1].TSMean <= rows[0].TSMean {
+		t.Errorf("100 Mbps mean %v not above gigabit %v", rows[1].TSMean, rows[0].TSMean)
+	}
+	if !strings.Contains(FormatRate(rows), "E-RATE") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	s := &Series{Name: "test", XAxis: "x", Rows: []Row{{Label: "a", Mean: 65 * sim.Microsecond}}}
+	out := s.String()
+	if !strings.Contains(out, "65.0") || !strings.Contains(out, "mean") {
+		t.Fatalf("series format:\n%s", out)
+	}
+}

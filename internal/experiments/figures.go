@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Fig2 reproduces Fig. 2 of the motivation study: TS-flow latency under
+// increasing background bandwidth — (a) BE background, (b) RC
+// background — on the Case 1 / Case 2 resource configurations of
+// Table I. The expected shape: latency and jitter flat, loss zero,
+// identical across both configurations.
+func Fig2(p Params, background string, caseCfg int) (*Series, error) {
+	cfg := core.PaperCustomizedConfig(1)
+	switch caseCfg {
+	case 1:
+		cfg.QueueDepth, cfg.BufferNum = 16, 128
+	case 2:
+		cfg.QueueDepth, cfg.BufferNum = 12, 96
+	default:
+		return nil, fmt.Errorf("experiments: unknown Table I case %d", caseCfg)
+	}
+	s := &Series{
+		Name:  fmt.Sprintf("Fig. 2(%s) — TS latency vs %s background (Case %d)", background, background, caseCfg),
+		XAxis: background + "(Mbps)",
+	}
+	for _, mbps := range []int{0, 200, 400, 600, 800} {
+		bs := benchSpec{p: p, hops: 3, useConfig: &cfg}
+		switch background {
+		case "BE":
+			bs.beMbps = mbps
+		case "RC":
+			bs.rcMbps = mbps
+		default:
+			return nil, fmt.Errorf("experiments: unknown background class %q", background)
+		}
+		rb, err := buildRing(bs)
+		if err != nil {
+			return nil, err
+		}
+		row := rb.run(p, 0)
+		row.Label = fmt.Sprintf("%dMbps", mbps)
+		row.X = float64(mbps)
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// Fig7Hops reproduces Fig. 7(a): end-to-end TS latency for flows
+// traversing 1..4 switches at the 65 µs slot. Expected shape: mean
+// latency ≈ hops × slot, jitter roughly constant.
+func Fig7Hops(p Params) (*Series, error) {
+	s := &Series{Name: "Fig. 7(a) — E2E latency under different hops", XAxis: "hops"}
+	for hops := 1; hops <= 4; hops++ {
+		rb, err := buildRing(benchSpec{p: p, hops: hops})
+		if err != nil {
+			return nil, err
+		}
+		row := rb.run(p, 0)
+		row.Label = fmt.Sprintf("%d", hops)
+		row.X = float64(hops)
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// Fig7PktSize reproduces Fig. 7(b): latency under different TS packet
+// sizes. Expected shape: slight increase with size (serialization).
+func Fig7PktSize(p Params) (*Series, error) {
+	s := &Series{Name: "Fig. 7(b) — E2E latency under different packet sizes", XAxis: "size(B)"}
+	for _, size := range []int{64, 128, 256, 512, 1024, 1500} {
+		rb, err := buildRing(benchSpec{p: p, hops: 3, wireSize: size})
+		if err != nil {
+			return nil, err
+		}
+		row := rb.run(p, 0)
+		row.Label = fmt.Sprintf("%dB", size)
+		row.X = float64(size)
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// Fig7Slot reproduces Fig. 7(c): latency under different slot sizes.
+// Expected shape: mean latency and jitter scale with the slot.
+func Fig7Slot(p Params) (*Series, error) {
+	s := &Series{Name: "Fig. 7(c) — E2E latency under different time slots", XAxis: "slot(µs)"}
+	for _, slot := range []sim.Time{65 * sim.Microsecond, 130 * sim.Microsecond,
+		260 * sim.Microsecond, 520 * sim.Microsecond} {
+		rb, err := buildRing(benchSpec{p: p, hops: 3, slot: slot})
+		if err != nil {
+			return nil, err
+		}
+		row := rb.run(p, 0)
+		row.Label = slot.String()
+		row.X = slot.Micros()
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// Fig7Background reproduces Fig. 7(d): RC and BE background injected
+// simultaneously at equal bandwidth. Expected shape: no effect on TS
+// latency or jitter, zero TS loss.
+func Fig7Background(p Params) (*Series, error) {
+	s := &Series{Name: "Fig. 7(d) — E2E latency under different background flows", XAxis: "each(Mbps)"}
+	for _, mbps := range []int{0, 100, 200, 300, 400} {
+		rb, err := buildRing(benchSpec{p: p, hops: 3, rcMbps: mbps, beMbps: mbps})
+		if err != nil {
+			return nil, err
+		}
+		row := rb.run(p, 0)
+		row.Label = fmt.Sprintf("%dMbps", mbps)
+		row.X = float64(mbps)
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}
+
+// CommercialVsCustomizedQoS runs the same workload on the commercial
+// resource configuration and on the derived customized one — the
+// paper's headline QoS-equivalence claim (§IV.C summary).
+func CommercialVsCustomizedQoS(p Params) (*Series, error) {
+	s := &Series{Name: "QoS equivalence — commercial vs customized resources", XAxis: "config"}
+	commercial := core.CommercialProfile()
+	for _, c := range []struct {
+		label string
+		cfg   *core.Config
+	}{
+		{"commercial", &commercial},
+		{"customized", nil},
+	} {
+		rb, err := buildRing(benchSpec{p: p, hops: 3, rcMbps: 100, beMbps: 100, useConfig: c.cfg})
+		if err != nil {
+			return nil, err
+		}
+		row := rb.run(p, 0)
+		row.Label = c.label
+		s.Rows = append(s.Rows, row)
+	}
+	return s, nil
+}

@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§II.A Table I/Fig. 2, §IV Table III/Fig. 7) plus
+// the sync-precision claim and an ITP ablation, against the simulated
+// substrate. Each experiment returns structured rows; cmd/tsnbench
+// prints them and bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/topology"
+	"github.com/tsnbuilder/tsnbuilder/testbed"
+)
+
+// Row is one data point of a latency experiment.
+type Row struct {
+	// Label names the x value ("2 hops", "512B", "200Mbps"...).
+	Label string
+	// X is the numeric x value for plotting.
+	X float64
+	// TS-flow metrics.
+	Mean, Jitter, Min, Max sim.Time
+	LossRate               float64
+	Sent, Received         uint64
+	DeadlineMisses         uint64
+}
+
+// Series is one experiment's output: an x-axis sweep of Rows.
+type Series struct {
+	Name  string
+	XAxis string
+	Rows  []Row
+}
+
+// String renders the series as an aligned table in µs, the paper's
+// unit.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Name)
+	fmt.Fprintf(&b, "  %-12s %10s %10s %10s %10s %8s %8s\n",
+		s.XAxis, "mean(µs)", "jitter(µs)", "min(µs)", "max(µs)", "loss", "sent")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "  %-12s %10.1f %10.2f %10.1f %10.1f %7.2f%% %8d\n",
+			r.Label, r.Mean.Micros(), r.Jitter.Micros(), r.Min.Micros(), r.Max.Micros(),
+			100*r.LossRate, r.Sent)
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated rows for external
+// plotting tools.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x,label,mean_us,jitter_us,min_us,max_us,loss,sent,received,deadline_misses\n")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%g,%s,%.3f,%.3f,%.3f,%.3f,%.6f,%d,%d,%d\n",
+			r.X, r.Label, r.Mean.Micros(), r.Jitter.Micros(), r.Min.Micros(),
+			r.Max.Micros(), r.LossRate, r.Sent, r.Received, r.DeadlineMisses)
+	}
+	return b.String()
+}
+
+// Params scales the experiments; DefaultParams matches the paper,
+// ShortParams keeps unit tests fast.
+type Params struct {
+	// TSFlows is the TS flow count (paper: 1024).
+	TSFlows int
+	// Duration is the measured traffic window.
+	Duration sim.Time
+	// Seed drives workload randomization.
+	Seed uint64
+}
+
+// DefaultParams reproduces the paper's workload scale.
+func DefaultParams() Params {
+	return Params{TSFlows: 1024, Duration: 100 * sim.Millisecond, Seed: 42}
+}
+
+// ShortParams is a reduced scale for -short test runs.
+func ShortParams() Params {
+	return Params{TSFlows: 128, Duration: 50 * sim.Millisecond, Seed: 42}
+}
+
+// ringBench assembles the paper's demo network: a 6-switch ring with
+// one TSNNic host per switch, TS flows of a fixed hop count (number of
+// switches traversed), optional RC/BE background on the first hop, and
+// a derived (customized) or commercial design.
+type ringBench struct {
+	Topo  *topology.Topology
+	Specs []*flows.Spec
+	Net   *testbed.Net
+}
+
+// benchSpec configures buildRing.
+type benchSpec struct {
+	p         Params
+	hops      int // switches traversed by each TS flow
+	wireSize  int
+	slot      sim.Time
+	rcMbps    int // per-source RC background
+	beMbps    int // per-source BE background
+	useConfig *core.Config
+	gptp      bool
+	// noITP leaves every TS flow at injection offset zero (the naive
+	// baseline of the ITP ablation).
+	noITP bool
+	// queueDepth/bufferNum override the derived provisioning when > 0
+	// (the Table I threshold study turns these knobs).
+	queueDepth int
+	bufferNum  int
+}
+
+// buildRing constructs and programs the network.
+func buildRing(bs benchSpec) (*ringBench, error) {
+	if bs.wireSize == 0 {
+		bs.wireSize = 64
+	}
+	if bs.slot == 0 {
+		bs.slot = 65 * sim.Microsecond
+	}
+	if bs.hops == 0 {
+		bs.hops = 3
+	}
+	topo := topology.Ring(6)
+	for h := 0; h < 6; h++ {
+		topo.AttachHost(100+h, h)
+		topo.AttachHost(200+h, h) // background injector per switch
+	}
+	specs := flows.GenerateTS(flows.TSParams{
+		Count:    bs.p.TSFlows,
+		Period:   10 * sim.Millisecond,
+		WireSize: bs.wireSize,
+		VID:      1,
+		Hosts: func(i int) (int, int) {
+			src := i % 6
+			return 100 + src, 100 + (src+bs.hops-1)%6
+		},
+		Seed: bs.p.Seed,
+	})
+	for i, s := range specs {
+		s.VID = uint16(1 + i%4000)
+	}
+	// Background: RC and/or BE from three injectors, two hops each, so
+	// they share trunks with the TS flows.
+	id := uint32(100_000)
+	for src := 0; src < 3; src++ {
+		if bs.rcMbps > 0 {
+			specs = append(specs, flows.Background(id, ethernet.ClassRC,
+				200+src, 100+(src+2)%6, uint16(3000+src), ethernet.Rate(bs.rcMbps)*ethernet.Mbps))
+			id++
+		}
+		if bs.beMbps > 0 {
+			specs = append(specs, flows.Background(id, ethernet.ClassBE,
+				200+src, 100+(src+2)%6, uint16(3200+src), ethernet.Rate(bs.beMbps)*ethernet.Mbps))
+			id++
+		}
+	}
+	if err := core.BindPaths(topo, specs); err != nil {
+		return nil, err
+	}
+
+	der, err := core.DeriveConfig(core.Scenario{Topo: topo, Flows: specs, SlotSize: bs.slot})
+	if err != nil {
+		return nil, err
+	}
+	if !bs.noITP {
+		der.Plan.Apply(specs)
+	}
+	cfg := der.Config
+	if bs.useConfig != nil {
+		cfg = *bs.useConfig
+		cfg.SlotSize = bs.slot
+	}
+	if bs.queueDepth > 0 {
+		cfg.QueueDepth = bs.queueDepth
+	}
+	if bs.bufferNum > 0 {
+		cfg.BufferNum = bs.bufferNum
+	}
+	design, err := core.BuilderFor(cfg, nil).Build()
+	if err != nil {
+		return nil, err
+	}
+	net, err := testbed.Build(testbed.Options{
+		Design:     design,
+		Topo:       topo,
+		Flows:      specs,
+		EnableGPTP: bs.gptp,
+		Seed:       bs.p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ringBench{Topo: topo, Specs: specs, Net: net}, nil
+}
+
+// run executes the scenario and summarizes the TS class.
+func (rb *ringBench) run(p Params, warmup sim.Time) Row {
+	rb.Net.Run(warmup, p.Duration)
+	s := rb.Net.Summary(ethernet.ClassTS)
+	return Row{
+		Mean: s.MeanLatency, Jitter: s.Jitter, Min: s.MinLat, Max: s.MaxLat,
+		LossRate: s.LossRate, Sent: s.Sent, Received: s.Received,
+		DeadlineMisses: s.DeadlineMisses,
+	}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/resource"
+)
+
+// TableIRow is one configuration row of Table I (the motivation case
+// study on queue/buffer customization).
+type TableIRow struct {
+	Case         string
+	QueueNumPort int
+	PktPerQueue  int
+	BufferNum    int
+	TotalKb      float64
+}
+
+// TableI reproduces the paper's Table I: two queue/buffer
+// configurations for the 3-switch, 1-enabled-port motivation network.
+func TableI() []TableIRow {
+	row := func(name string, depth, buffers int) TableIRow {
+		q := resource.Queues(depth, 8, 1)
+		b := resource.Buffers(buffers, 1)
+		return TableIRow{
+			Case: name, QueueNumPort: 8, PktPerQueue: depth, BufferNum: buffers,
+			TotalKb: q.Kb() + b.Kb(),
+		}
+	}
+	return []TableIRow{
+		row("Case 1", 16, 128),
+		row("Case 2", 12, 96),
+	}
+}
+
+// FormatTableI renders Table I like the paper.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — Configuration of queue and packet buffer\n")
+	fmt.Fprintf(&b, "  %-7s %10s %10s %10s %12s\n", "", "Queue/Port", "Pkt/Queue", "Buffers", "Total BRAM")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-7s %10d %10d %10d %10.0fKb\n",
+			r.Case, r.QueueNumPort, r.PktPerQueue, r.BufferNum, r.TotalKb)
+	}
+	if len(rows) == 2 {
+		fmt.Fprintf(&b, "  saving: %.0fKb\n", rows[0].TotalKb-rows[1].TotalKb)
+	}
+	return b.String()
+}
+
+// TableIIIColumn is one column group of Table III.
+type TableIIIColumn struct {
+	Label     string
+	Config    core.Config
+	Report    *resource.Report
+	TotalKb   float64
+	Reduction float64 // vs commercial, in percent
+}
+
+// TableIII reproduces the paper's Table III: the commercial BCM53154
+// configuration against the customized star/linear/ring switches.
+func TableIII() ([]TableIIIColumn, error) {
+	build := func(label string, cfg core.Config) (TableIIIColumn, error) {
+		d, err := core.BuilderFor(cfg, nil).Build()
+		if err != nil {
+			return TableIIIColumn{}, err
+		}
+		return TableIIIColumn{Label: label, Config: cfg, Report: d.Report, TotalKb: d.Report.TotalKb()}, nil
+	}
+	base, err := build("Commercial Switch (4 ports)", core.CommercialProfile())
+	if err != nil {
+		return nil, err
+	}
+	cols := []TableIIIColumn{base}
+	for _, c := range []struct {
+		label string
+		ports int
+	}{
+		{"Customized (Star, 3 ports)", 3},
+		{"Customized (Linear, 2 ports)", 2},
+		{"Customized (Ring, 1 port)", 1},
+	} {
+		col, err := build(c.label, core.PaperCustomizedConfig(c.ports))
+		if err != nil {
+			return nil, err
+		}
+		col.Reduction = 100 * col.Report.ReductionVs(base.Report)
+		cols = append(cols, col)
+	}
+	return cols, nil
+}
+
+// FormatTableIII renders Table III like the paper.
+func FormatTableIII(cols []TableIIIColumn) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III — Comparison of resource usage under different scenarios\n\n")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "%s\n", c.Label)
+		for _, it := range c.Report.Items {
+			fmt.Fprintf(&b, "  %-11s %-6s %-14s %8.0fKb\n", it.Name, it.Width, it.Params, it.Kb())
+		}
+		if c.Reduction != 0 {
+			fmt.Fprintf(&b, "  %-11s %-21s %8.0fKb (-%.2f%%)\n\n", "Total", "", c.TotalKb, c.Reduction)
+		} else {
+			fmt.Fprintf(&b, "  %-11s %-21s %8.0fKb\n\n", "Total", "", c.TotalKb)
+		}
+	}
+	return b.String()
+}

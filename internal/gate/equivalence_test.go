@@ -1,0 +1,69 @@
+package gate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// cqfAsVarGCL expresses the CQF fixed-slot schedule as a
+// variable-duration list.
+func cqfAsVarGCL(slot sim.Time, a, b int) (in, out *VarGCL) {
+	others := AllOpen &^ (1<<uint(a) | 1<<uint(b))
+	in = NewVarGCL([]VarEntry{
+		{Mask: others.With(a), Duration: slot},
+		{Mask: others.With(b), Duration: slot},
+	})
+	out = NewVarGCL([]VarEntry{
+		{Mask: others.With(b), Duration: slot},
+		{Mask: others.With(a), Duration: slot},
+	})
+	return in, out
+}
+
+// TestCQFVarGCLEquivalence proves the two schedule representations are
+// behaviourally identical: same state, same boundaries, for arbitrary
+// instants. This pins down the Schedule abstraction the switch relies
+// on when the control plane swaps CQF for a synthesized list.
+func TestCQFVarGCLEquivalence(t *testing.T) {
+	slot := 65 * sim.Microsecond
+	fixedIn, fixedOut := CQF(slot, 7, 6)
+	varIn, varOut := cqfAsVarGCL(slot, 7, 6)
+
+	prop := func(raw uint32) bool {
+		at := sim.Time(raw)
+		if fixedIn.StateAt(at) != varIn.StateAt(at) {
+			return false
+		}
+		if fixedOut.StateAt(at) != varOut.StateAt(at) {
+			return false
+		}
+		if fixedIn.NextBoundary(at) != varIn.NextBoundary(at) {
+			return false
+		}
+		return fixedOut.TimeToBoundary(at) == varOut.TimeToBoundary(at)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if fixedIn.Cycle() != varIn.Cycle() || fixedIn.Size() != varIn.Size() {
+		t.Fatal("cycle/size mismatch between representations")
+	}
+}
+
+// TestEnqueueTargetEquivalence checks the redirection logic agrees on
+// both representations.
+func TestEnqueueTargetEquivalence(t *testing.T) {
+	slot := 65 * sim.Microsecond
+	fixedIn, _ := CQF(slot, 7, 6)
+	varIn, _ := cqfAsVarGCL(slot, 7, 6)
+	prop := func(raw uint32, qRaw uint8) bool {
+		at := sim.Time(raw)
+		q := int(qRaw % 8)
+		return EnqueueTarget(fixedIn, at, q, 7, 6) == EnqueueTarget(varIn, at, q, 7, 6)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

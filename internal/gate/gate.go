@@ -1,0 +1,145 @@
+// Package gate implements the Gate Ctrl function template: the ingress
+// and egress Gate Control Lists (GCLs) attached to each queue of each
+// port (802.1Qbv), plus the CQF (Cyclic Queuing and Forwarding,
+// 802.1Qch) GCL synthesis the paper's evaluation uses.
+//
+// Time is divided into equal slots. Each GCL entry holds an open/close
+// bit per queue; the entry in effect at local time t is
+// entries[(t/slot) mod len(entries)]. With CQF the list has exactly two
+// entries — which is why the paper's customized gate tables need only
+// gate_size = 2.
+package gate
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Mask is a per-queue open/close bitmap; bit q set means queue q's gate
+// is open.
+type Mask uint16
+
+// Open reports whether queue q's gate is open in m.
+func (m Mask) Open(q int) bool { return m&(1<<uint(q)) != 0 }
+
+// With returns m with queue q's gate opened.
+func (m Mask) With(q int) Mask { return m | 1<<uint(q) }
+
+// AllOpen is the mask with every gate open (ungated queues).
+const AllOpen Mask = 0xffff
+
+// GCL is one gate control list: a cyclic schedule of gate masks over
+// equally sized time slots.
+type GCL struct {
+	slot    sim.Time
+	entries []Mask
+	// base aligns slot 0; local gate time is measured from it.
+	base sim.Time
+}
+
+// NewGCL builds a GCL with the given slot size and entries. The entry
+// count is the gate table size of the set_gate_tbl customization API.
+func NewGCL(slot sim.Time, entries []Mask) *GCL {
+	if slot <= 0 {
+		panic("gate: non-positive slot size")
+	}
+	if len(entries) == 0 {
+		panic("gate: empty GCL")
+	}
+	return &GCL{slot: slot, entries: append([]Mask(nil), entries...)}
+}
+
+// AlwaysOpen returns a one-entry GCL that never gates any queue, used
+// for ports or queues without time-aware shaping.
+func AlwaysOpen(slot sim.Time) *GCL {
+	return NewGCL(slot, []Mask{AllOpen})
+}
+
+// Size returns the number of entries (the gate table depth).
+func (g *GCL) Size() int { return len(g.entries) }
+
+// Slot returns the slot duration.
+func (g *GCL) Slot() sim.Time { return g.slot }
+
+// Cycle returns the full schedule period: slot × entries.
+func (g *GCL) Cycle() sim.Time { return g.slot * sim.Time(len(g.entries)) }
+
+// SetBase aligns slot boundaries to local time base.
+func (g *GCL) SetBase(base sim.Time) { g.base = base }
+
+// index returns the entry index in effect at local time t.
+func (g *GCL) index(t sim.Time) int {
+	rel := t - g.base
+	if rel < 0 {
+		// Align negative times onto the cycle.
+		rel = rel%g.Cycle() + g.Cycle()
+	}
+	return int(rel/g.slot) % len(g.entries)
+}
+
+// StateAt returns the gate mask in effect at local time t.
+func (g *GCL) StateAt(t sim.Time) Mask { return g.entries[g.index(t)] }
+
+// SlotIndex returns the absolute slot number containing local time t.
+func (g *GCL) SlotIndex(t sim.Time) int64 {
+	rel := t - g.base
+	if rel < 0 {
+		return int64(rel/g.slot) - 1
+	}
+	return int64(rel / g.slot)
+}
+
+// NextBoundary returns the earliest slot boundary strictly after local
+// time t.
+func (g *GCL) NextBoundary(t sim.Time) sim.Time {
+	rel := t - g.base
+	n := rel / g.slot
+	if rel < 0 && rel%g.slot != 0 {
+		// Integer division truncates toward zero; floor it instead.
+		n--
+	}
+	return g.base + (n+1)*g.slot
+}
+
+// TimeToBoundary returns how long after local time t the next slot
+// boundary occurs; in (0, slot].
+func (g *GCL) TimeToBoundary(t sim.Time) sim.Time { return g.NextBoundary(t) - t }
+
+// String renders the schedule compactly.
+func (g *GCL) String() string {
+	return fmt.Sprintf("GCL{slot=%v entries=%d}", g.slot, len(g.entries))
+}
+
+// CQF builds the paper's static CQF configuration for one port: two TSN
+// queues (queueA, queueB) enqueue and dequeue in a cyclic manner. In
+// even slots queueA accepts arrivals while queueB drains; odd slots
+// swap roles. Non-TS queues (all others) are always open in both
+// directions.
+//
+// The returned in/out GCLs each have exactly 2 entries, matching the
+// paper's gate table parameter gate_size = 2.
+func CQF(slot sim.Time, queueA, queueB int) (in, out *GCL) {
+	if queueA == queueB {
+		panic("gate: CQF queues must differ")
+	}
+	others := AllOpen &^ (1<<uint(queueA) | 1<<uint(queueB))
+	inEntries := []Mask{
+		others.With(queueA), // slot 0: A enqueues
+		others.With(queueB), // slot 1: B enqueues
+	}
+	outEntries := []Mask{
+		others.With(queueB), // slot 0: B drains
+		others.With(queueA), // slot 1: A drains
+	}
+	return NewGCL(slot, inEntries), NewGCL(slot, outEntries)
+}
+
+// EnqueueQueue returns which of the two CQF queues accepts arrivals at
+// local time t under the in-GCL built by CQF.
+func EnqueueQueue(in *GCL, t sim.Time, queueA, queueB int) int {
+	if in.StateAt(t).Open(queueA) {
+		return queueA
+	}
+	return queueB
+}

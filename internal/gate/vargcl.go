@@ -1,0 +1,140 @@
+package gate
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Schedule is the Gate Ctrl abstraction both GCL flavors implement:
+// fixed-slot lists (CQF) and variable-duration lists (802.1Qbv TAS).
+type Schedule interface {
+	// StateAt returns the gate mask in effect at local time t.
+	StateAt(t sim.Time) Mask
+	// NextBoundary returns the earliest state-change instant strictly
+	// after t.
+	NextBoundary(t sim.Time) sim.Time
+	// TimeToBoundary returns NextBoundary(t) - t.
+	TimeToBoundary(t sim.Time) sim.Time
+	// Size returns the number of gate table entries the schedule
+	// consumes (the gate_size resource parameter).
+	Size() int
+	// Cycle returns the schedule period.
+	Cycle() sim.Time
+}
+
+// Interface checks.
+var (
+	_ Schedule = (*GCL)(nil)
+	_ Schedule = (*VarGCL)(nil)
+)
+
+// VarEntry is one entry of a variable-duration gate control list: a
+// gate mask held for a duration, as 802.1Qbv's
+// SetGateStates/TimeInterval pairs.
+type VarEntry struct {
+	Mask     Mask
+	Duration sim.Time
+}
+
+// VarGCL is an 802.1Qbv-style gate control list with per-entry
+// durations. The list repeats with period Cycle().
+type VarGCL struct {
+	entries []VarEntry
+	// starts[i] is the offset of entry i within the cycle.
+	starts []sim.Time
+	cycle  sim.Time
+	base   sim.Time
+}
+
+// NewVarGCL builds a variable-duration GCL. Durations must be positive.
+func NewVarGCL(entries []VarEntry) *VarGCL {
+	if len(entries) == 0 {
+		panic("gate: empty VarGCL")
+	}
+	g := &VarGCL{entries: append([]VarEntry(nil), entries...)}
+	var at sim.Time
+	for _, e := range entries {
+		if e.Duration <= 0 {
+			panic(fmt.Sprintf("gate: non-positive entry duration %v", e.Duration))
+		}
+		g.starts = append(g.starts, at)
+		at += e.Duration
+	}
+	g.cycle = at
+	return g
+}
+
+// SetBase aligns the cycle start to local time base.
+func (g *VarGCL) SetBase(base sim.Time) { g.base = base }
+
+// Size returns the entry count.
+func (g *VarGCL) Size() int { return len(g.entries) }
+
+// Cycle returns the schedule period.
+func (g *VarGCL) Cycle() sim.Time { return g.cycle }
+
+// phase maps local time t onto [0, cycle).
+func (g *VarGCL) phase(t sim.Time) sim.Time {
+	rel := (t - g.base) % g.cycle
+	if rel < 0 {
+		rel += g.cycle
+	}
+	return rel
+}
+
+// index returns the entry covering phase p via binary search.
+func (g *VarGCL) index(p sim.Time) int {
+	lo, hi := 0, len(g.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if g.starts[mid] <= p {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// StateAt implements Schedule.
+func (g *VarGCL) StateAt(t sim.Time) Mask {
+	return g.entries[g.index(g.phase(t))].Mask
+}
+
+// NextBoundary implements Schedule.
+func (g *VarGCL) NextBoundary(t sim.Time) sim.Time {
+	p := g.phase(t)
+	i := g.index(p)
+	end := g.starts[i] + g.entries[i].Duration
+	return t + (end - p)
+}
+
+// TimeToBoundary implements Schedule.
+func (g *VarGCL) TimeToBoundary(t sim.Time) sim.Time { return g.NextBoundary(t) - t }
+
+// String renders the schedule compactly.
+func (g *VarGCL) String() string {
+	return fmt.Sprintf("VarGCL{entries=%d cycle=%v}", len(g.entries), g.cycle)
+}
+
+// EnqueueTarget generalizes CQF's queue redirection to any Schedule:
+// given the classified queue q and the CQF pair (a, b), it returns the
+// queue the frame should join, or -1 if its gate is closed. When q is
+// not part of the pair the in-gate state decides admission directly.
+func EnqueueTarget(in Schedule, t sim.Time, q, a, b int) int {
+	state := in.StateAt(t)
+	if q == a || q == b {
+		if state.Open(a) {
+			return a
+		}
+		if state.Open(b) {
+			return b
+		}
+		return -1
+	}
+	if !state.Open(q) {
+		return -1
+	}
+	return q
+}

@@ -1,0 +1,62 @@
+package gptp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Property: the PTP message codec is lossless over its whole field
+// space for every message type.
+func TestMessageCodecProperty(t *testing.T) {
+	types := []MsgType{MsgSync, MsgPdelayReq, MsgPdelayResp, MsgFollowUp, MsgAnnounce}
+	prop := func(tIdx uint8, seq uint16, origin int64, corr int64,
+		p1, cls uint8, id uint64, steps uint16) bool {
+		m := &Message{
+			Type:       types[int(tIdx)%len(types)],
+			Seq:        seq,
+			OriginTS:   sim.Time(origin),
+			Correction: corr,
+			Priority:   PriorityVector{Priority1: p1, ClockClass: cls, ClockID: id},
+			Steps:      steps,
+		}
+		got, err := UnmarshalMessage(m.Marshal(ethernet.SwitchMAC(3)))
+		if err != nil {
+			return false
+		}
+		return *got == *m
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PriorityVector.Less is a strict weak ordering (irreflexive,
+// asymmetric, transitive on samples).
+func TestPriorityOrderingProperty(t *testing.T) {
+	mk := func(a, b uint8, c uint64) PriorityVector {
+		return PriorityVector{Priority1: a, ClockClass: b, ClockID: c}
+	}
+	prop := func(a1, a2 uint8, a3 uint64, b1, b2 uint8, b3 uint64, c1, c2 uint8, c3 uint64) bool {
+		a, b, c := mk(a1, a2, a3), mk(b1, b2, b3), mk(c1, c2, c3)
+		if a.Less(a) {
+			return false // irreflexive
+		}
+		if a.Less(b) && b.Less(a) {
+			return false // asymmetric
+		}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false // transitive
+		}
+		// Totality: distinct vectors compare one way or the other.
+		if a != b && !a.Less(b) && !b.Less(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

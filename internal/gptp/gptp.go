@@ -1,0 +1,398 @@
+// Package gptp implements the Time Sync function template of
+// TSN-Builder: a generalized Precision Time Protocol (IEEE 802.1AS)
+// model with the three submodules the paper names in Fig. 5 —
+// collection of clock time (PHY timestamping of Sync/Follow_Up and
+// Pdelay exchanges), calculation of correction time (offset and link
+// delay arithmetic) and clock correction (phase step + frequency trim
+// servo).
+//
+// As in 802.1AS, time propagates hop by hop from a grandmaster over a
+// spanning tree: every time-aware system measures the delay of the link
+// to its upstream neighbor with the peer-delay mechanism and
+// disciplines its local oscillator to the neighbor's clock. PTP frames
+// are timestamped at the PHY and never cross the switching fabric, so
+// the model delivers them directly over each link rather than through
+// the simulated dataplane; this mirrors hardware behaviour.
+package gptp
+
+import (
+	"github.com/tsnbuilder/tsnbuilder/internal/clock"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Config tunes the protocol. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	// SyncInterval is the time between Sync messages on each master
+	// port. 802.1AS defaults to 125 ms; the prototype syncs faster to
+	// converge quickly after power-up.
+	SyncInterval sim.Time
+	// PdelayInterval is the time between peer-delay measurements.
+	PdelayInterval sim.Time
+	// StepThreshold is the offset magnitude above which the servo steps
+	// the clock phase instead of slewing.
+	StepThreshold sim.Time
+	// TimestampJitter is the half-width of the uniform PHY timestamp
+	// error. The paper's FPGA timestamps at 125 MHz, i.e. 8 ns
+	// granularity with a few ns of sampling jitter.
+	TimestampJitter sim.Time
+	// Granularity is the timestamp quantum applied by the PHY.
+	Granularity sim.Time
+	// MsgWireBytes is the on-wire size of a PTP message (header +
+	// body + FCS), used to compute its serialization delay.
+	MsgWireBytes int
+	// LinkRate is the bit rate PTP messages are serialized at.
+	LinkRate ethernet.Rate
+}
+
+// DefaultConfig matches the paper's prototype: 125 MHz timestamping on
+// 1 Gbps links with sub-50 ns precision as the target.
+func DefaultConfig() Config {
+	return Config{
+		SyncInterval:    sim.Millisecond * 32,
+		PdelayInterval:  sim.Millisecond * 250,
+		StepThreshold:   sim.Microsecond,
+		TimestampJitter: 4 * sim.Nanosecond,
+		Granularity:     clock.Granularity125MHz,
+		MsgWireBytes:    90,
+		LinkRate:        ethernet.Gbps,
+	}
+}
+
+// Node is one time-aware system (switch or end station).
+type Node struct {
+	ID    int
+	Clock *clock.Clock
+
+	domain   *Domain
+	ports    []*Port
+	upstream *Port // port toward the grandmaster; nil on the GM
+
+	// priority is the BMCA system identity; alive gates all protocol
+	// activity (holdover when false).
+	priority PriorityVector
+	alive    bool
+
+	// Servo state.
+	synced     bool
+	lastOffset sim.Time
+	// Stats.
+	syncCount  int
+	stepCount  int
+	lastCorrAt sim.Time
+	announceTx uint64
+	announceRx uint64
+}
+
+// Port is one gPTP-capable port of a node.
+type Port struct {
+	owner *Node
+	peer  *Port
+	// trueDelay is the physical propagation delay of the attached link.
+	trueDelay sim.Time
+	// measuredDelay is the pdelay mechanism's current estimate.
+	measuredDelay sim.Time
+	hasDelay      bool
+	rng           *sim.Rand
+	// seq numbers outgoing event messages.
+	seq uint16
+}
+
+// send marshals msg onto the wire and invokes handle with the decoded
+// copy after the link latency — every protocol exchange crosses the
+// real codec.
+func (d *Domain) send(from *Port, msg *Message, handle func(e *sim.Engine, m *Message)) {
+	from.seq++
+	msg.Seq = from.seq
+	frame := msg.Marshal(d.srcMAC(from.owner))
+	d.engine.After(d.msgDelay(from), "ptp:"+msg.Type.String(), func(e *sim.Engine) {
+		got, err := UnmarshalMessage(frame)
+		if err != nil {
+			panic(err) // codec breakage is a programming error
+		}
+		handle(e, got)
+	})
+}
+
+// MeasuredDelay returns the current peer-delay estimate and whether a
+// measurement has completed.
+func (p *Port) MeasuredDelay() (sim.Time, bool) { return p.measuredDelay, p.hasDelay }
+
+// Domain is a gPTP domain: a set of nodes joined by point-to-point
+// links with one grandmaster.
+type Domain struct {
+	cfg    Config
+	engine *sim.Engine
+	nodes  []*Node
+	gm     *Node
+	seed   uint64
+}
+
+// NewDomain creates an empty domain running on engine.
+func NewDomain(engine *sim.Engine, cfg Config) *Domain {
+	if cfg.SyncInterval <= 0 || cfg.PdelayInterval <= 0 {
+		panic("gptp: non-positive intervals")
+	}
+	return &Domain{cfg: cfg, engine: engine, seed: 0x67707470}
+}
+
+// AddNode registers a time-aware system whose oscillator has the given
+// intrinsic drift and initial phase offset.
+func (d *Domain) AddNode(id int, drift clock.PPB, initialOffset sim.Time) *Node {
+	c := clock.New(drift, initialOffset)
+	c.SetGranularity(d.cfg.Granularity)
+	n := &Node{
+		ID: id, Clock: c, domain: d, alive: true,
+		// Default identity: free-running clock class, ID from the node
+		// number (from the MAC in hardware).
+		priority: PriorityVector{Priority1: 246, ClockClass: 248, ClockID: uint64(id) + 1},
+	}
+	d.nodes = append(d.nodes, n)
+	return n
+}
+
+// srcMAC derives the node's protocol source address.
+func (d *Domain) srcMAC(n *Node) ethernet.MAC { return ethernet.SwitchMAC(n.ID) }
+
+// Nodes returns the registered nodes in insertion order.
+func (d *Domain) Nodes() []*Node { return d.nodes }
+
+// Connect joins a and b with a full-duplex link of the given
+// propagation delay and returns the two port endpoints.
+func (d *Domain) Connect(a, b *Node, delay sim.Time) (*Port, *Port) {
+	if delay < 0 {
+		panic("gptp: negative link delay")
+	}
+	d.seed = d.seed*6364136223846793005 + 1442695040888963407
+	pa := &Port{owner: a, trueDelay: delay, rng: sim.NewRand(d.seed)}
+	d.seed = d.seed*6364136223846793005 + 1442695040888963407
+	pb := &Port{owner: b, trueDelay: delay, rng: sim.NewRand(d.seed)}
+	pa.peer, pb.peer = pb, pa
+	a.ports = append(a.ports, pa)
+	b.ports = append(b.ports, pb)
+	return pa, pb
+}
+
+// SetGrandmaster designates gm as the domain's time source and builds
+// the sync spanning tree (BFS over links) assigning each other node its
+// upstream port. It also gives gm an administratively preferred BMCA
+// identity so a later election confirms the choice.
+func (d *Domain) SetGrandmaster(gm *Node) {
+	gm.priority.Priority1 = 128
+	gm.priority.ClockClass = 6
+	if err := d.assume(gm); err != nil {
+		panic(err)
+	}
+}
+
+// Grandmaster returns the domain's time source.
+func (d *Domain) Grandmaster() *Node { return d.gm }
+
+// Start schedules the protocol: immediate pdelay measurements on every
+// port, then periodic Sync transmission on every master port (ports
+// whose peer considers them upstream).
+func (d *Domain) Start() {
+	if d.gm == nil {
+		panic("gptp: Start before SetGrandmaster")
+	}
+	for _, n := range d.nodes {
+		for _, p := range n.ports {
+			p := p
+			// Every port measures its link delay and ticks a periodic
+			// Sync opportunity; the role check happens at fire time, so
+			// re-election (BMCA failover) takes effect without
+			// rescheduling.
+			d.engine.After(0, "pdelay", func(*sim.Engine) { d.startPdelay(p) })
+			d.schedulePeriodicSync(p)
+		}
+	}
+}
+
+// msgDelay returns the wire latency of one PTP message over port p:
+// serialization + propagation.
+func (d *Domain) msgDelay(p *Port) sim.Time {
+	return ethernet.TxTime(d.cfg.MsgWireBytes+ethernet.OverheadBytes, d.cfg.LinkRate) + p.trueDelay
+}
+
+// timestamp models PHY timestamping at instant now on port p: the local
+// clock reading, quantized, plus uniform sampling jitter.
+func (d *Domain) timestamp(p *Port, now sim.Time) sim.Time {
+	ts := p.owner.Clock.Timestamp(now)
+	if j := d.cfg.TimestampJitter; j > 0 {
+		ts += p.rng.Time(2*j+1) - j
+	}
+	return ts
+}
+
+// --- Peer delay measurement (Pdelay_Req / Pdelay_Resp) ---
+
+func (d *Domain) startPdelay(p *Port) {
+	d.measurePdelay(p)
+	d.engine.After(d.cfg.PdelayInterval, "pdelay", func(*sim.Engine) { d.startPdelay(p) })
+}
+
+func (d *Domain) measurePdelay(p *Port) {
+	if !p.owner.alive || !p.peer.owner.alive {
+		return
+	}
+	now := d.engine.Now()
+	t1 := d.timestamp(p, now) // initiator tx timestamp
+	// Pdelay_Req crosses the wire through the codec.
+	d.send(p, &Message{Type: MsgPdelayReq}, func(e *sim.Engine, _ *Message) {
+		t2 := d.timestamp(p.peer, e.Now()) // responder rx
+		// Responder turnaround: a small processing time.
+		turnaround := 2 * sim.Microsecond
+		e.After(turnaround, "pdelay-turn", func(e2 *sim.Engine) {
+			t3 := d.timestamp(p.peer, e2.Now()) // responder tx
+			// Pdelay_Resp carries the turnaround (t3 − t2) as its
+			// correction, the condensed one-message form.
+			resp := &Message{Type: MsgPdelayResp, OriginTS: t2, Correction: int64(t3 - t2)}
+			d.send(p.peer, resp, func(e3 *sim.Engine, m *Message) {
+				t4 := d.timestamp(p, e3.Now()) // initiator rx
+				// Mean path delay per IEEE 1588: ((t4-t1)-(t3-t2))/2.
+				delay := ((t4 - t1) - sim.Time(m.Correction)) / 2
+				if delay < 0 {
+					delay = 0
+				}
+				// Exponentially average successive measurements: a static
+				// error in the delay estimate biases every downstream
+				// clock, so smoothing it matters more than smoothing the
+				// per-sync offset samples.
+				if p.hasDelay {
+					p.measuredDelay = (3*p.measuredDelay + delay) / 4
+				} else {
+					p.measuredDelay = delay
+					p.hasDelay = true
+				}
+			})
+		})
+	})
+}
+
+// --- Sync / Follow_Up propagation ---
+
+func (d *Domain) schedulePeriodicSync(master *Port) {
+	d.engine.After(d.cfg.SyncInterval, "sync", func(*sim.Engine) {
+		d.sendSync(master)
+		d.schedulePeriodicSync(master)
+	})
+}
+
+// sendSync emits one two-step Sync from master port: the Sync is
+// timestamped on egress (t1) and a Follow_Up carrying t1 trails it.
+// Ports that are not currently master toward their peer (or whose
+// owner/peer is out of service) skip the opportunity.
+func (d *Domain) sendSync(master *Port) {
+	if !master.owner.alive || !master.peer.owner.alive {
+		return
+	}
+	if master.peer.owner.upstream != master.peer {
+		return
+	}
+	now := d.engine.Now()
+	t1 := d.timestamp(master, now)
+	slave := master.peer
+	// Two-step sync over the codec: the Sync event message is
+	// timestamped on arrival, the Follow_Up delivers t1.
+	d.send(master, &Message{Type: MsgSync}, func(e *sim.Engine, _ *Message) {
+		t2 := d.timestamp(slave, e.Now())
+		d.send(master, &Message{Type: MsgFollowUp, OriginTS: t1}, func(e2 *sim.Engine, m *Message) {
+			slave.owner.applysync(e2, m.OriginTS, t2, slave)
+		})
+	})
+}
+
+// applysync runs the correction-time calculation and clock-correction
+// submodules on a (t1, t2) sample received on upstream port p.
+func (n *Node) applysync(e *sim.Engine, t1, t2 sim.Time, p *Port) {
+	if !n.alive {
+		return
+	}
+	if !p.hasDelay {
+		return // wait for the first pdelay measurement
+	}
+	d := n.domain
+	now := e.Now()
+	// offset = slaveTime - masterTimeAtArrival.
+	offset := t2 - (t1 + p.measuredDelay)
+	n.syncCount++
+	prevCorr := n.lastCorrAt
+	n.lastCorrAt = now
+
+	if !n.synced || offset > d.cfg.StepThreshold*1000 || offset < -d.cfg.StepThreshold*1000 {
+		// Phase step on first sync or gross error; frequency unknown.
+		n.Clock.Step(now, -offset)
+		n.synced = true
+		n.stepCount++
+		n.lastOffset = 0
+		return
+	}
+	// Frequency correction: the offset accumulated since the previous
+	// correction estimates the residual rate error versus the upstream
+	// clock (deadbeat frequency estimator).
+	// The gain < 1 low-passes timestamp noise, which otherwise gets
+	// re-amplified at every hop of the sync cascade.
+	if elapsed := now - prevCorr; elapsed > 0 {
+		ppb := clock.PPB(int64(offset) * 1_000_000_000 / int64(elapsed))
+		n.Clock.Trim(now, n.Clock.TrimPPB()-ppb/4)
+	}
+	// Remove the residual phase error. Below the step threshold this is
+	// a fine-grained correction; above it, it doubles as a step.
+	n.Clock.Step(now, -offset)
+	if offset > d.cfg.StepThreshold || offset < -d.cfg.StepThreshold {
+		n.stepCount++
+	}
+	n.lastOffset = offset
+}
+
+// OffsetFromGM returns node n's clock error relative to the grandmaster
+// clock at the current engine time.
+func (d *Domain) OffsetFromGM(n *Node) sim.Time {
+	now := d.engine.Now()
+	return n.Clock.Now(now) - d.gm.Clock.Now(now)
+}
+
+// MaxAbsOffset returns the worst clock error across all alive non-GM
+// nodes, the domain's synchronization precision.
+func (d *Domain) MaxAbsOffset() sim.Time {
+	var worst sim.Time
+	for _, n := range d.nodes {
+		if n == d.gm || !n.alive {
+			continue
+		}
+		off := d.OffsetFromGM(n)
+		if off < 0 {
+			off = -off
+		}
+		if off > worst {
+			worst = off
+		}
+	}
+	return worst
+}
+
+// Stats reports per-node protocol counters.
+type Stats struct {
+	NodeID    int
+	SyncCount int
+	StepCount int
+	Offset    sim.Time
+}
+
+// Stats returns a snapshot for every non-GM node.
+func (d *Domain) Stats() []Stats {
+	var out []Stats
+	for _, n := range d.nodes {
+		if n == d.gm {
+			continue
+		}
+		out = append(out, Stats{
+			NodeID:    n.ID,
+			SyncCount: n.syncCount,
+			StepCount: n.stepCount,
+			Offset:    d.OffsetFromGM(n),
+		})
+	}
+	return out
+}

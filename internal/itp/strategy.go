@@ -1,0 +1,113 @@
+package itp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Strategy selects the offset-assignment algorithm. The paper's §V
+// frames parameter selection as an optimization problem and invites
+// alternative algorithms over the same abstraction; these strategies
+// span the design space the ablation compares.
+type Strategy int
+
+// Available strategies.
+const (
+	// StrategyGreedy is the first-fit minimizing per-cell occupancy
+	// (the default planner).
+	StrategyGreedy Strategy = iota
+	// StrategyRoundRobin spreads flows evenly over the period without
+	// looking at paths.
+	StrategyRoundRobin
+	// StrategyRandom draws offsets uniformly (seeded).
+	StrategyRandom
+	// StrategyNaive injects everything at offset zero (the worst case).
+	StrategyNaive
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGreedy:
+		return "greedy"
+	case StrategyRoundRobin:
+		return "round-robin"
+	case StrategyRandom:
+		return "random"
+	case StrategyNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ComputeWith plans injection offsets using the given strategy and
+// evaluates the resulting worst-case occupancy. StrategyGreedy
+// delegates to Compute; the others assign offsets first and then
+// measure.
+func ComputeWith(specs []*flows.Spec, slot sim.Time, key CellKey, strategy Strategy, seed uint64) (*Plan, error) {
+	if strategy == StrategyGreedy {
+		return Compute(specs, slot, key)
+	}
+	if slot <= 0 {
+		return nil, fmt.Errorf("itp: non-positive slot %v", slot)
+	}
+	var ts []*flows.Spec
+	for _, s := range specs {
+		if s.Class != ethernet.ClassTS || s.Period <= 0 {
+			continue
+		}
+		if len(s.Path) == 0 {
+			return nil, fmt.Errorf("itp: flow %d has no path", s.ID)
+		}
+		if s.Period < slot {
+			return nil, fmt.Errorf("itp: flow %d period %v below slot %v", s.ID, s.Period, slot)
+		}
+		ts = append(ts, s)
+	}
+	plan := &Plan{
+		Offsets: make(map[uint32]sim.Time),
+		PerCell: make(map[string]int),
+		Slot:    slot,
+	}
+	// Deterministic order.
+	order := append([]*flows.Spec(nil), ts...)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	rng := sim.NewRand(seed)
+	for i, s := range order {
+		p := int64(s.Period / slot)
+		if p < 1 {
+			p = 1
+		}
+		var o int64
+		switch strategy {
+		case StrategyRoundRobin:
+			o = int64(i) % p
+		case StrategyRandom:
+			o = rng.Int63n(p)
+		case StrategyNaive:
+			o = 0
+		default:
+			return nil, fmt.Errorf("itp: unknown strategy %d", strategy)
+		}
+		plan.Offsets[s.ID] = sim.Time(o) * slot
+	}
+	// Evaluate the assignment.
+	saved := make(map[uint32]sim.Time, len(ts))
+	for _, s := range ts {
+		saved[s.ID] = s.Offset
+		s.Offset = plan.Offsets[s.ID]
+	}
+	occ, err := Occupancy(specs, slot, key)
+	for _, s := range ts {
+		s.Offset = saved[s.ID]
+	}
+	if err != nil {
+		return nil, err
+	}
+	plan.MaxOccupancy = occ
+	return plan, nil
+}

@@ -1,0 +1,185 @@
+// Package netdev is the physical layer of the testbed: full-duplex
+// point-to-point Ethernet interfaces joined by links with a line rate
+// and a propagation delay. Switches and TSNNic endpoints implement
+// Receiver and exchange frames through Ifc values, with store-and-
+// forward delivery and wire occupancy that includes preamble and
+// inter-frame gap.
+package netdev
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Receiver consumes frames arriving on an interface it owns.
+type Receiver interface {
+	Receive(f *ethernet.Frame, on *Ifc)
+}
+
+// Ifc is one direction-agnostic Ethernet interface. Transmission is
+// exclusive: the owner must wait for the completion callback before
+// transmitting again, as a MAC would.
+type Ifc struct {
+	Name   string
+	engine *sim.Engine
+	owner  Receiver
+	rate   ethernet.Rate
+	prop   sim.Time
+	peer   *Ifc
+
+	busyUntil sim.Time
+	txFrames  uint64
+	rxFrames  uint64
+	txBytes   uint64
+	// sniff, when set, observes every frame delivered to this
+	// interface (a mirror-port tap).
+	sniff func(*ethernet.Frame, sim.Time)
+}
+
+// NewIfc creates an interface owned by owner at the given line rate.
+func NewIfc(engine *sim.Engine, name string, owner Receiver, rate ethernet.Rate) *Ifc {
+	if rate <= 0 {
+		panic("netdev: non-positive rate")
+	}
+	return &Ifc{Name: name, engine: engine, owner: owner, rate: rate}
+}
+
+// Connect joins a and b with a cable of the given propagation delay.
+func Connect(a, b *Ifc, prop sim.Time) {
+	if a.peer != nil || b.peer != nil {
+		panic(fmt.Sprintf("netdev: %s or %s already connected", a.Name, b.Name))
+	}
+	if prop < 0 {
+		panic("netdev: negative propagation delay")
+	}
+	a.peer, b.peer = b, a
+	a.prop, b.prop = prop, prop
+}
+
+// Rate returns the line rate.
+func (i *Ifc) Rate() ethernet.Rate { return i.rate }
+
+// Peer returns the interface at the other end of the cable.
+func (i *Ifc) Peer() *Ifc { return i.peer }
+
+// Busy reports whether a transmission is occupying the wire now.
+func (i *Ifc) Busy() bool { return i.engine.Now() < i.busyUntil }
+
+// FreeAt returns when the current transmission (if any) releases the
+// wire.
+func (i *Ifc) FreeAt() sim.Time { return i.busyUntil }
+
+// Transmit serializes f onto the wire starting now. onDone (may be nil)
+// fires when the interface is free again — after the frame plus
+// inter-frame gap. The peer receives the frame store-and-forward: after
+// full serialization plus propagation.
+//
+// Transmitting while Busy panics: the MAC layer above must serialize.
+func (i *Ifc) Transmit(f *ethernet.Frame, onDone func()) {
+	i.TransmitHandle(f, onDone)
+}
+
+// TxHandle tracks one in-flight transmission so a preemption-capable
+// MAC (802.3br) can interrupt it.
+type TxHandle struct {
+	ifc       *Ifc
+	frame     *ethernet.Frame
+	wireBytes int // bytes still to serialize when this (fragment) began
+	started   sim.Time
+	deliver   sim.EventRef
+	done      sim.EventRef
+	completed bool
+}
+
+// TransmitHandle is Transmit returning an abort handle.
+func (i *Ifc) TransmitHandle(f *ethernet.Frame, onDone func()) *TxHandle {
+	return i.transmitBytes(f, f.WireBytes(), onDone)
+}
+
+// transmitBytes serializes wireBytes worth of f (a fragment when below
+// the frame's full size); the complete frame is delivered only when the
+// final fragment finishes.
+func (i *Ifc) transmitBytes(f *ethernet.Frame, wireBytes int, onDone func()) *TxHandle {
+	if i.peer == nil {
+		panic(fmt.Sprintf("netdev: %s transmit with no cable", i.Name))
+	}
+	now := i.engine.Now()
+	if now < i.busyUntil {
+		panic(fmt.Sprintf("netdev: %s transmit while busy until %v", i.Name, i.busyUntil))
+	}
+	wire := ethernet.TxTime(wireBytes, i.rate)
+	occupancy := ethernet.TxTime(wireBytes+ethernet.OverheadBytes, i.rate)
+	i.busyUntil = now + occupancy
+	i.txFrames++
+	i.txBytes += uint64(wireBytes)
+
+	h := &TxHandle{ifc: i, frame: f, wireBytes: wireBytes, started: now}
+	deliver := f.Clone()
+	peer := i.peer
+	h.deliver = i.engine.After(wire+i.prop, "deliver:"+i.Name, func(e *sim.Engine) {
+		peer.rxFrames++
+		peer.owner.Receive(deliver, peer)
+		if peer.sniff != nil {
+			peer.sniff(deliver, e.Now())
+		}
+	})
+	h.done = i.engine.After(occupancy, "txdone:"+i.Name, func(*sim.Engine) {
+		h.completed = true
+		if onDone != nil {
+			onDone()
+		}
+	})
+	return h
+}
+
+// Frame returns the frame this handle is transmitting.
+func (h *TxHandle) Frame() *ethernet.Frame { return h.frame }
+
+// fragOverheadBytes is the extra on-wire cost of each additional
+// 802.3br fragment: renewed preamble/SFD, fragment header and mCRC.
+const fragOverheadBytes = 24
+
+// minFragmentBytes is the smallest legal non-final fragment.
+const minFragmentBytes = 64
+
+// Abort interrupts the transmission at the current instant (802.3br
+// preemption): the partial fragment's wire time is already spent, the
+// delivery is suppressed, and the remaining bytes (plus the per-
+// fragment overhead) are returned for a later Resume. ok is false when
+// the frame is too far along (or too early) to preempt legally.
+func (h *TxHandle) Abort() (remainingBytes int, ok bool) {
+	if h.completed {
+		return 0, false
+	}
+	now := h.ifc.engine.Now()
+	elapsed := now - h.started
+	sentBytes := int(int64(elapsed) * int64(h.ifc.rate) / (8 * int64(sim.Second)))
+	remaining := h.wireBytes - sentBytes
+	if sentBytes < minFragmentBytes || remaining < minFragmentBytes {
+		return 0, false
+	}
+	if !h.ifc.engine.Cancel(h.deliver) || !h.ifc.engine.Cancel(h.done) {
+		return 0, false
+	}
+	h.completed = true
+	// The wire frees after the fragment's mCRC + IFG.
+	h.ifc.busyUntil = now + ethernet.TxTime(ethernet.OverheadBytes, h.ifc.rate)
+	return remaining + fragOverheadBytes, true
+}
+
+// Resume continues an aborted frame: transmits remainingBytes and
+// delivers the full original frame when they complete.
+func (i *Ifc) Resume(f *ethernet.Frame, remainingBytes int, onDone func()) *TxHandle {
+	return i.transmitBytes(f, remainingBytes, onDone)
+}
+
+// SetSniffer installs a receive-side tap: fn observes every frame
+// delivered to this interface, after the owner processed it.
+func (i *Ifc) SetSniffer(fn func(*ethernet.Frame, sim.Time)) { i.sniff = fn }
+
+// Counters returns (txFrames, rxFrames, txBytes).
+func (i *Ifc) Counters() (uint64, uint64, uint64) {
+	return i.txFrames, i.rxFrames, i.txBytes
+}

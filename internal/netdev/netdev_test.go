@@ -1,0 +1,165 @@
+package netdev
+
+import (
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// sink records received frames with their arrival times.
+type sink struct {
+	frames []*ethernet.Frame
+	times  []sim.Time
+	engine *sim.Engine
+}
+
+func (s *sink) Receive(f *ethernet.Frame, on *Ifc) {
+	s.frames = append(s.frames, f)
+	s.times = append(s.times, s.engine.Now())
+}
+
+func pair(e *sim.Engine, prop sim.Time) (*Ifc, *Ifc, *sink, *sink) {
+	sa, sb := &sink{engine: e}, &sink{engine: e}
+	a := NewIfc(e, "a", sa, ethernet.Gbps)
+	b := NewIfc(e, "b", sb, ethernet.Gbps)
+	Connect(a, b, prop)
+	return a, b, sa, sb
+}
+
+func TestTransmitDelivers(t *testing.T) {
+	e := sim.NewEngine()
+	a, _, _, sb := pair(e, 100*sim.Nanosecond)
+	f := &ethernet.Frame{FlowID: 42} // 64B minimum frame
+	done := false
+	e.After(0, "tx", func(*sim.Engine) { a.Transmit(f, func() { done = true }) })
+	e.Run()
+	if len(sb.frames) != 1 || sb.frames[0].FlowID != 42 {
+		t.Fatalf("delivery wrong: %v", sb.frames)
+	}
+	// 64B at 1 Gbps = 512 ns serialization + 100 ns propagation.
+	if sb.times[0] != 612*sim.Nanosecond {
+		t.Fatalf("arrival = %v, want 612ns", sb.times[0])
+	}
+	if !done {
+		t.Fatal("onDone never fired")
+	}
+}
+
+func TestTransmitOccupancyIncludesIFG(t *testing.T) {
+	e := sim.NewEngine()
+	a, _, _, _ := pair(e, 0)
+	var freeAt sim.Time
+	e.After(0, "tx", func(*sim.Engine) {
+		a.Transmit(&ethernet.Frame{}, nil)
+		freeAt = a.FreeAt()
+	})
+	e.Run()
+	// (64+20)B at 1 Gbps = 672 ns.
+	if freeAt != 672*sim.Nanosecond {
+		t.Fatalf("FreeAt = %v, want 672ns", freeAt)
+	}
+}
+
+func TestTransmitWhileBusyPanics(t *testing.T) {
+	e := sim.NewEngine()
+	a, _, _, _ := pair(e, 0)
+	e.After(0, "tx", func(*sim.Engine) {
+		a.Transmit(&ethernet.Frame{}, nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("transmit while busy did not panic")
+			}
+		}()
+		a.Transmit(&ethernet.Frame{}, nil)
+	})
+	e.Run()
+}
+
+func TestBackToBackViaOnDone(t *testing.T) {
+	e := sim.NewEngine()
+	a, _, _, sb := pair(e, 0)
+	sent := 0
+	var sendNext func()
+	sendNext = func() {
+		if sent >= 3 {
+			return
+		}
+		sent++
+		a.Transmit(&ethernet.Frame{Seq: uint32(sent)}, sendNext)
+	}
+	e.After(0, "start", func(*sim.Engine) { sendNext() })
+	e.Run()
+	if len(sb.frames) != 3 {
+		t.Fatalf("received %d frames, want 3", len(sb.frames))
+	}
+	// Frames are spaced by full occupancy (672 ns), arrivals at
+	// 512, 1184, 1856 ns.
+	if sb.times[1]-sb.times[0] != 672*sim.Nanosecond {
+		t.Fatalf("spacing = %v, want 672ns", sb.times[1]-sb.times[0])
+	}
+}
+
+func TestTransmitClonesFrame(t *testing.T) {
+	e := sim.NewEngine()
+	a, _, _, sb := pair(e, 0)
+	f := &ethernet.Frame{Payload: []byte{1}}
+	e.After(0, "tx", func(*sim.Engine) {
+		a.Transmit(f, nil)
+		f.Payload[0] = 99 // mutate after transmit
+	})
+	e.Run()
+	if sb.frames[0].Payload[0] != 1 {
+		t.Fatal("delivered frame aliases sender's buffer")
+	}
+}
+
+func TestFullDuplex(t *testing.T) {
+	e := sim.NewEngine()
+	a, b, sa, sb := pair(e, 0)
+	e.After(0, "tx", func(*sim.Engine) {
+		a.Transmit(&ethernet.Frame{Seq: 1}, nil)
+		b.Transmit(&ethernet.Frame{Seq: 2}, nil) // simultaneous reverse direction
+	})
+	e.Run()
+	if len(sa.frames) != 1 || len(sb.frames) != 1 {
+		t.Fatal("full duplex failed")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	e := sim.NewEngine()
+	s := &sink{engine: e}
+	a := NewIfc(e, "a", s, ethernet.Gbps)
+	b := NewIfc(e, "b", s, ethernet.Gbps)
+	c := NewIfc(e, "c", s, ethernet.Gbps)
+	Connect(a, b, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double connect did not panic")
+			}
+		}()
+		Connect(a, c, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("transmit without cable did not panic")
+			}
+		}()
+		c.Transmit(&ethernet.Frame{}, nil)
+	}()
+}
+
+func TestCounters(t *testing.T) {
+	e := sim.NewEngine()
+	a, b, _, _ := pair(e, 0)
+	e.After(0, "tx", func(*sim.Engine) { a.Transmit(&ethernet.Frame{}, nil) })
+	e.Run()
+	tx, _, txb := a.Counters()
+	_, rx, _ := b.Counters()
+	if tx != 1 || rx != 1 || txb != 64 {
+		t.Fatalf("counters = tx%d rx%d txb%d", tx, rx, txb)
+	}
+}

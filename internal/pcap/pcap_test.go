@@ -1,0 +1,109 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+func sampleFrame() *ethernet.Frame {
+	return &ethernet.Frame{
+		Dst: ethernet.HostMAC(2), Src: ethernet.HostMAC(1),
+		VID: 7, PCP: 7, EtherType: ethernet.TypeTSN,
+		Payload: []byte("hello"), FlowID: 3, Seq: 9, Class: ethernet.ClassTS,
+	}
+}
+
+func TestHeaderFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 24 {
+		t.Fatalf("header = %d bytes", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != magicNanos {
+		t.Fatal("wrong magic")
+	}
+	if binary.LittleEndian.Uint32(b[20:]) != linkTypeEthernet {
+		t.Fatal("wrong link type")
+	}
+}
+
+func TestWriteFrameRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	at := 2*sim.Second + 123*sim.Nanosecond
+	if err := w.WriteFrame(at, sampleFrame()); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	b := buf.Bytes()[24:] // skip file header
+	if binary.LittleEndian.Uint32(b[0:]) != 2 {
+		t.Fatal("seconds wrong")
+	}
+	if binary.LittleEndian.Uint32(b[4:]) != 123 {
+		t.Fatal("nanoseconds wrong")
+	}
+	incl := binary.LittleEndian.Uint32(b[8:])
+	orig := binary.LittleEndian.Uint32(b[12:])
+	if incl != orig {
+		t.Fatal("incl != orig")
+	}
+	// Padded to 60B (64B wire minus FCS).
+	if incl != 60 {
+		t.Fatalf("record length = %d, want 60", incl)
+	}
+	if len(b) != 16+int(incl) {
+		t.Fatalf("record body = %d bytes", len(b)-16)
+	}
+	// The embedded bytes decode back to the frame.
+	frame, err := ethernet.Unmarshal(b[16 : 16+incl])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.FlowID != 3 || frame.Seq != 9 {
+		t.Fatalf("decoded frame = %+v", frame)
+	}
+}
+
+func TestMultipleFramesSingleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.WriteFrame(sim.Time(i)*sim.Microsecond, sampleFrame()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	// 24B header + 3 × (16B + 60B).
+	if buf.Len() != 24+3*(16+60) {
+		t.Fatalf("capture = %d bytes", buf.Len())
+	}
+}
+
+func TestLargeFrameUnpadded(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	f := sampleFrame()
+	f.Payload = make([]byte, 1000)
+	if err := w.WriteFrame(0, f); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[24:]
+	incl := binary.LittleEndian.Uint32(b[8:])
+	// Tester header (17B) + payload inside an 18B header frame.
+	want := uint32(18 + 17 + 1000)
+	if incl != want {
+		t.Fatalf("incl = %d, want %d", incl, want)
+	}
+}

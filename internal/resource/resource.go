@@ -1,0 +1,222 @@
+// Package resource is the fine-grained on-chip-memory abstraction of
+// TSN-Builder (§III.B): it maps every resource class of Fig. 4 —
+// switch/classification/meter/gate/CBS tables, metadata queues and
+// packet buffers — onto FPGA block RAM, using the entry widths and the
+// 18 Kb/36 Kb block allocation of the paper's Table III.
+//
+// Calibration: this model reproduces every BRAM figure in Table I and
+// Table III of the paper exactly (see the package tests).
+package resource
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry widths in bits, from Table III's "Bit/Byte Width" column.
+const (
+	UnicastWidth   = 72  // Dst MAC + VID + outport
+	MulticastWidth = 72  // MC ID + port set
+	ClassWidth     = 117 // Src MAC + Dst MAC + VID + PRI → Meter/Queue ID
+	MeterWidth     = 68  // rate, bucket state
+	GateWidth      = 17  // per-queue gate bits + slot bookkeeping
+	// CBSMapWidth + CBSWidth: "the entry width of CBS table and CBS MAP
+	// table is 72b in total".
+	CBSMapWidth    = 8  // queue → shaper binding
+	CBSWidth       = 64 // idleslope + sendslope + credit
+	QueueMetaWidth = 32 // packet descriptor (metadata)
+)
+
+// Buffer geometry: a 2048 B payload slot plus a 112 B descriptor
+// (next-pointer, length, timestamps), i.e. 17280 bits of BRAM per
+// buffer. This footprint is what reconciles the paper's buffer rows
+// (e.g. 96 buffers × 1 port = 1620 Kb).
+const (
+	BufferPayloadBytes = 2048
+	BufferDescBytes    = 112
+	BufferSlotBits     = (BufferPayloadBytes + BufferDescBytes) * 8
+)
+
+// BRAM block sizes in bits. Xilinx 7-series block RAM comes in 18 Kb
+// primitives pairable into 36 Kb blocks; Kb here is 1024 bits.
+const (
+	Block18Bits = 18 * 1024
+	Block36Bits = 36 * 1024
+)
+
+// blocks18 returns the number of 18 Kb blocks needed for bits of
+// storage (zero for zero bits).
+func blocks18(bits int64) int64 {
+	if bits <= 0 {
+		return 0
+	}
+	return (bits + Block18Bits - 1) / Block18Bits
+}
+
+// tableBits returns the BRAM bits a table of depth entries × width bits
+// occupies after block quantization.
+func tableBits(width, depth int) int64 {
+	return blocks18(int64(width)*int64(depth)) * Block18Bits
+}
+
+// Item is one row of a resource report (one row of Table III).
+type Item struct {
+	Name   string
+	Width  string // human-readable width, e.g. "72b" or "2048B"
+	Params string // the customization API parameters, e.g. "2, 8, 4"
+	Bits   int64  // BRAM bits allocated
+}
+
+// Kb returns the row's BRAM in Kb (1 Kb = 1024 bits), the paper's unit.
+func (it Item) Kb() float64 { return float64(it.Bits) / 1024 }
+
+// Blocks returns the allocation as (count36, count18): as many 36 Kb
+// blocks as possible plus at most one trailing 18 Kb block, the
+// packing synthesis tools report.
+func (it Item) Blocks() (int64, int64) {
+	n18 := it.Bits / Block18Bits
+	if it.Bits%Block18Bits != 0 {
+		n18++
+	}
+	return n18 / 2, n18 % 2
+}
+
+// SwitchTbl models set_switch_tbl(unicast_size, multicast_size): the
+// unicast and multicast switch tables, shared by all ports.
+func SwitchTbl(unicastSize, multicastSize int) Item {
+	return Item{
+		Name:   "Switch Tbl",
+		Width:  fmt.Sprintf("%db", UnicastWidth),
+		Params: fmt.Sprintf("%s, %s", compact(unicastSize), compact(multicastSize)),
+		Bits:   tableBits(UnicastWidth, unicastSize) + tableBits(MulticastWidth, multicastSize),
+	}
+}
+
+// ClassTbl models set_class_tbl(class_size).
+func ClassTbl(classSize int) Item {
+	return Item{
+		Name:   "Class. Tbl",
+		Width:  fmt.Sprintf("%db", ClassWidth),
+		Params: compact(classSize),
+		Bits:   tableBits(ClassWidth, classSize),
+	}
+}
+
+// MeterTbl models set_meter_tbl(meter_size).
+func MeterTbl(meterSize int) Item {
+	return Item{
+		Name:   "Meter Tbl",
+		Width:  fmt.Sprintf("%db", MeterWidth),
+		Params: compact(meterSize),
+		Bits:   tableBits(MeterWidth, meterSize),
+	}
+}
+
+// GateTbl models set_gate_tbl(gate_size, queue_num, port_num): each
+// port owns an input and an output gate table of gate_size entries;
+// each table occupies at least one 18 Kb block.
+func GateTbl(gateSize, queueNum, portNum int) Item {
+	perTable := tableBits(GateWidth, gateSize)
+	return Item{
+		Name:   "Gate Tbl",
+		Width:  fmt.Sprintf("%db", GateWidth),
+		Params: fmt.Sprintf("%d, %d, %d", gateSize, queueNum, portNum),
+		Bits:   2 * perTable * int64(portNum),
+	}
+}
+
+// CBSTbl models set_cbs_tbl(cbs_map_size, cbs_size, port_num): each
+// port owns a CBS MAP table and a CBS table, each at least one block.
+func CBSTbl(cbsMapSize, cbsSize, portNum int) Item {
+	per := tableBits(CBSMapWidth, cbsMapSize) + tableBits(CBSWidth, cbsSize)
+	return Item{
+		Name:   "CBS Tbl",
+		Width:  fmt.Sprintf("%db", CBSMapWidth+CBSWidth),
+		Params: fmt.Sprintf("%d, %d, %d", cbsMapSize, cbsSize, portNum),
+		Bits:   per * int64(portNum),
+	}
+}
+
+// Queues models set_queues(queue_depth, queue_num, port_num): each
+// queue is an independent memory of queue_depth descriptors and
+// occupies at least one 18 Kb block.
+func Queues(queueDepth, queueNum, portNum int) Item {
+	perQueue := tableBits(QueueMetaWidth, queueDepth)
+	return Item{
+		Name:   "Queues",
+		Width:  fmt.Sprintf("%db", QueueMetaWidth),
+		Params: fmt.Sprintf("%d, %d, %d", queueDepth, queueNum, portNum),
+		Bits:   perQueue * int64(queueNum) * int64(portNum),
+	}
+}
+
+// Buffers models set_buffers(buffer_num, port_num): each port owns a
+// contiguous pool of buffer_num slots (payload + descriptor).
+func Buffers(bufferNum, portNum int) Item {
+	return Item{
+		Name:   "Buffers",
+		Width:  fmt.Sprintf("%dB", BufferPayloadBytes),
+		Params: fmt.Sprintf("%d, %d", bufferNum, portNum),
+		Bits:   int64(BufferSlotBits) * int64(bufferNum) * int64(portNum),
+	}
+}
+
+// SharedBuffers models the switch-memory-switch alternative (§VI,
+// ref [16]): one pool of bufferNum slots shared by every port instead
+// of per-port pools.
+func SharedBuffers(bufferNum int) Item {
+	return Item{
+		Name:   "Buffers",
+		Width:  fmt.Sprintf("%dB", BufferPayloadBytes),
+		Params: fmt.Sprintf("%d shared", bufferNum),
+		Bits:   int64(BufferSlotBits) * int64(bufferNum),
+	}
+}
+
+// compact renders entry counts the way the paper does ("16K", "1024").
+func compact(n int) string {
+	if n != 0 && n%1024 == 0 {
+		return fmt.Sprintf("%dK", n/1024)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Report is a full resource breakdown (one column group of Table III).
+type Report struct {
+	Label string
+	Items []Item
+}
+
+// TotalBits sums the allocation.
+func (r *Report) TotalBits() int64 {
+	var total int64
+	for _, it := range r.Items {
+		total += it.Bits
+	}
+	return total
+}
+
+// TotalKb returns the total in Kb, the paper's bottom row.
+func (r *Report) TotalKb() float64 { return float64(r.TotalBits()) / 1024 }
+
+// ReductionVs returns the fractional saving versus a baseline report,
+// e.g. 0.8053 for the ring column of Table III.
+func (r *Report) ReductionVs(baseline *Report) float64 {
+	b := baseline.TotalBits()
+	if b == 0 {
+		return 0
+	}
+	return 1 - float64(r.TotalBits())/float64(b)
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Label)
+	fmt.Fprintf(&b, "  %-11s %-6s %-14s %10s\n", "Resource", "Width", "Parameters", "BRAM")
+	for _, it := range r.Items {
+		fmt.Fprintf(&b, "  %-11s %-6s %-14s %8.0fKb\n", it.Name, it.Width, it.Params, it.Kb())
+	}
+	fmt.Fprintf(&b, "  %-11s %-6s %-14s %8.0fKb\n", "Total", "", "", r.TotalKb())
+	return b.String()
+}

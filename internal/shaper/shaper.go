@@ -1,0 +1,156 @@
+// Package shaper implements the Egress Sched function template of
+// Fig. 5: a strict-priority scheduler over the port's queues plus
+// credit-based shapers (CBS, 802.1Qav) that limit the bandwidth of the
+// RC queues "for alleviating the traffic burst". The CBS MAP table
+// binds queues to shapers and the CBS table holds each shaper's
+// idleslope/sendslope, mirroring the paper's resource view.
+package shaper
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// CBS is one credit-based shaper implemented, as the paper notes, on a
+// token-bucket-like credit counter. Credits are in bits.
+//
+// Semantics per 802.1Qav:
+//   - while a frame of the shaped queue waits, credit rises at
+//     idleSlope (bits/s);
+//   - while a frame transmits, credit changes at sendSlope =
+//     idleSlope − portRate (negative);
+//   - a queue is eligible to transmit only when credit ≥ 0;
+//   - when the queue goes empty with positive credit, credit resets to
+//     zero (no banking of idle bandwidth).
+type CBS struct {
+	idleSlope ethernet.Rate
+	portRate  ethernet.Rate
+	credit    int64 // bits
+	last      sim.Time
+}
+
+// Configure initializes the shaper. idleSlope is the reserved
+// bandwidth; portRate the line rate it is shaped against.
+func (c *CBS) Configure(idleSlope, portRate ethernet.Rate) {
+	if idleSlope <= 0 || portRate <= 0 || idleSlope > portRate {
+		panic(fmt.Sprintf("shaper: invalid slopes idle=%d port=%d", idleSlope, portRate))
+	}
+	c.idleSlope = idleSlope
+	c.portRate = portRate
+	c.credit = 0
+	c.last = 0
+}
+
+// IdleSlope returns the reserved bandwidth.
+func (c *CBS) IdleSlope() ethernet.Rate { return c.idleSlope }
+
+// SendSlope returns the (negative) transmit slope in bits/s.
+func (c *CBS) SendSlope() int64 { return int64(c.idleSlope) - int64(c.portRate) }
+
+// accrue advances the idle accumulation to now.
+func (c *CBS) accrue(now sim.Time) {
+	if now <= c.last {
+		return
+	}
+	c.credit += int64(now-c.last) * int64(c.idleSlope) / int64(sim.Second)
+	c.last = now
+}
+
+// Eligible reports whether the shaped queue may start a transmission at
+// instant now (credit ≥ 0 after idle accrual).
+func (c *CBS) Eligible(now sim.Time) bool {
+	c.accrue(now)
+	return c.credit >= 0
+}
+
+// OnSend charges a transmission that starts at now and occupies the
+// wire for txTime carrying frameBits of frame data. The credit evolves
+// at sendSlope across the window; accounting is applied up front with
+// the clock advanced past the window.
+func (c *CBS) OnSend(now sim.Time, frameBits int64, txTime sim.Time) {
+	c.accrue(now)
+	// sendSlope × txTime = idleSlope×txTime − portRate×txTime; the last
+	// term is exactly the wire bits (frame + overhead), but charging
+	// the frame's own bits is the conventional software model. Use the
+	// full window against portRate for fidelity.
+	c.credit += int64(txTime)*int64(c.idleSlope)/int64(sim.Second) -
+		int64(txTime)*int64(c.portRate)/int64(sim.Second)
+	_ = frameBits
+	c.last = now + txTime
+}
+
+// OnEmpty must be called when the shaped queue drains: positive credit
+// is forfeited.
+func (c *CBS) OnEmpty(now sim.Time) {
+	c.accrue(now)
+	if c.credit > 0 {
+		c.credit = 0
+	}
+}
+
+// Credit returns the current credit in bits (after accrual to now).
+func (c *CBS) Credit(now sim.Time) int64 {
+	c.accrue(now)
+	return c.credit
+}
+
+// Bank is one port's CBS MAP table + CBS table: a fixed number of
+// shapers and a fixed number of queue→shaper bindings, per the
+// set_cbs_tbl customization API.
+type Bank struct {
+	mapCapacity int
+	binding     map[int]int // queueID -> shaper index
+	shapers     []CBS
+	configured  []bool
+}
+
+// NewBank returns a bank with mapSize binding slots and cbsSize
+// shapers.
+func NewBank(mapSize, cbsSize int) *Bank {
+	if mapSize < 0 || cbsSize < 0 {
+		panic("shaper: negative bank size")
+	}
+	return &Bank{
+		mapCapacity: mapSize,
+		binding:     make(map[int]int),
+		shapers:     make([]CBS, cbsSize),
+		configured:  make([]bool, cbsSize),
+	}
+}
+
+// Attach binds queueID to shaper cbsID, consuming one CBS MAP entry.
+func (b *Bank) Attach(queueID, cbsID int) error {
+	if cbsID < 0 || cbsID >= len(b.shapers) {
+		return fmt.Errorf("shaper: cbs id %d out of range [0,%d)", cbsID, len(b.shapers))
+	}
+	if _, ok := b.binding[queueID]; !ok && len(b.binding) >= b.mapCapacity {
+		return fmt.Errorf("shaper: CBS MAP table full (%d entries)", b.mapCapacity)
+	}
+	b.binding[queueID] = cbsID
+	return nil
+}
+
+// Configure sets shaper cbsID's slopes.
+func (b *Bank) Configure(cbsID int, idleSlope, portRate ethernet.Rate) error {
+	if cbsID < 0 || cbsID >= len(b.shapers) {
+		return fmt.Errorf("shaper: cbs id %d out of range [0,%d)", cbsID, len(b.shapers))
+	}
+	b.shapers[cbsID].Configure(idleSlope, portRate)
+	b.configured[cbsID] = true
+	return nil
+}
+
+// For returns the shaper bound to queueID, or nil if the queue is
+// unshaped (TS and BE queues).
+func (b *Bank) For(queueID int) *CBS {
+	id, ok := b.binding[queueID]
+	if !ok || !b.configured[id] {
+		return nil
+	}
+	return &b.shapers[id]
+}
+
+// MapLen returns the number of consumed CBS MAP entries.
+func (b *Bank) MapLen() int { return len(b.binding) }

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is a callback executed when an event fires. It receives the
+// engine so it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback. seq breaks ties between events
+// scheduled for the same instant so execution order is deterministic
+// (FIFO in scheduling order), which keeps whole-network simulations
+// reproducible run to run.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    Handler
+	index int // heap index, -1 once popped or canceled
+	label string
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// EventRef identifies a scheduled event so it can be canceled. The zero
+// value refers to no event.
+type EventRef struct {
+	ev *event
+}
+
+// Valid reports whether the reference points at a still-pending event.
+func (r EventRef) Valid() bool { return r.ev != nil && r.ev.index >= 0 }
+
+// Engine is a deterministic discrete-event scheduler. The zero value is
+// not ready for use; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	nextSeq uint64
+	stopped bool
+	// Executed counts events run since construction; useful for
+	// progress accounting in benchmarks.
+	executed uint64
+}
+
+// NewEngine returns an engine positioned at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time. During an event callback this
+// is the event's scheduled instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have been dispatched.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute instant at. Scheduling in the
+// past (before Now) panics: it indicates a causality bug in the caller.
+func (e *Engine) At(at Time, label string, fn Handler) EventRef {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", label, at, e.now))
+	}
+	ev := &event{at: at, seq: e.nextSeq, fn: fn, label: label}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventRef{ev: ev}
+}
+
+// After schedules fn to run delay after the current time.
+func (e *Engine) After(delay Time, label string, fn Handler) EventRef {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", delay, label))
+	}
+	return e.At(e.now+delay, label, fn)
+}
+
+// Cancel removes a pending event. Canceling an already-fired or
+// already-canceled event is a no-op and returns false.
+func (e *Engine) Cancel(r EventRef) bool {
+	if !r.Valid() {
+		return false
+	}
+	heap.Remove(&e.queue, r.ev.index)
+	return true
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and runs the earliest event. It reports false when the
+// queue is empty.
+func (e *Engine) step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn(e)
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to the deadline. Events scheduled beyond the deadline stay
+// queued.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d from the current instant.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }

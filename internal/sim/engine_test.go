@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, "c", func(*Engine) { got = append(got, 3) })
+	e.At(10, "a", func(*Engine) { got = append(got, 1) })
+	e.At(20, "b", func(*Engine) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 16; i++ {
+		i := i
+		e.At(5, "tie", func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want scheduling order", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fires int
+	var recur Handler
+	recur = func(en *Engine) {
+		fires++
+		if fires < 10 {
+			en.After(7, "recur", recur)
+		}
+	}
+	e.After(7, "recur", recur)
+	e.Run()
+	if fires != 10 {
+		t.Fatalf("fires = %d, want 10", fires)
+	}
+	if e.Now() != 70 {
+		t.Fatalf("Now = %v, want 70", e.Now())
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, "late", func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.At(50, "past", func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	NewEngine().After(-1, "neg", func(*Engine) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ref := e.At(10, "x", func(*Engine) { fired = true })
+	if !e.Cancel(ref) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ref) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	ref := e.At(10, "x", func(*Engine) {})
+	e.Run()
+	if e.Cancel(ref) {
+		t.Fatal("Cancel after fire returned true")
+	}
+	if ref.Valid() {
+		t.Fatal("fired event still Valid")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, "t", func(*Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4 events", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick Handler
+	tick = func(en *Engine) {
+		count++
+		en.After(10, "tick", tick)
+	}
+	e.After(10, "tick", tick)
+	e.RunFor(100)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	e.RunFor(100)
+	if count != 20 {
+		t.Fatalf("count = %d, want 20 after second RunFor", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), "n", func(en *Engine) {
+			count++
+			if count == 3 {
+				en.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), "n", func(*Engine) {})
+	}
+	e.Run()
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// the scheduling order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.At(at, "p", func(*Engine) { fired = append(fired, at) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0s"},
+		{65 * Microsecond, "65µs"},
+		{10 * Millisecond, "10ms"},
+		{2 * Second, "2s"},
+		{1500, "1500ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (65 * Microsecond).Micros() != 65 {
+		t.Error("Micros conversion wrong")
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (1 * Millisecond).Duration().Microseconds() != 1000 {
+		t.Error("Duration conversion wrong")
+	}
+}

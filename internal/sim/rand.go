@@ -1,0 +1,68 @@
+package sim
+
+// Rand is a small deterministic pseudo-random source (SplitMix64).
+// Simulations must be reproducible across runs and platforms, so we do
+// not use math/rand's global state; every stochastic component owns a
+// seeded Rand stream.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a stream seeded with seed. Distinct seeds give
+// independent-looking streams.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be positive.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Time returns a uniform Time in [0, n). n must be positive.
+func (r *Rand) Time(n Time) Time {
+	return Time(r.Int63n(int64(n)))
+}
+
+// Pick returns a uniformly chosen element of xs.
+func Pick[T any](r *Rand, xs []T) T {
+	return xs[r.Intn(len(xs))]
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "testing"
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d times in 64 draws", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) covered %d values in 1000 draws, want 10", len(seen))
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / 10000
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandTimeRange(t *testing.T) {
+	r := NewRand(11)
+	for i := 0; i < 100; i++ {
+		v := r.Time(65 * Microsecond)
+		if v < 0 || v >= 65*Microsecond {
+			t.Fatalf("Time draw %v out of range", v)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(5)
+	p := r.Perm(32)
+	seen := make([]bool, 32)
+	for _, v := range p {
+		if v < 0 || v >= 32 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRand(9)
+	xs := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[Pick(r, xs)]++
+	}
+	for _, x := range xs {
+		if counts[x] == 0 {
+			t.Fatalf("Pick never chose %q in 300 draws", x)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package tables
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+)
+
+func TestUnicastAddLookup(t *testing.T) {
+	tbl := NewUnicast(4)
+	if err := tbl.Add(ethernet.HostMAC(1), 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	port, ok := tbl.Lookup(ethernet.HostMAC(1), 100)
+	if !ok || port != 2 {
+		t.Fatalf("Lookup = (%d,%v)", port, ok)
+	}
+	// Same MAC, different VID is a distinct key.
+	if _, ok := tbl.Lookup(ethernet.HostMAC(1), 101); ok {
+		t.Fatal("lookup with wrong VID hit")
+	}
+}
+
+func TestUnicastCapacity(t *testing.T) {
+	tbl := NewUnicast(2)
+	if err := tbl.Add(ethernet.HostMAC(1), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(ethernet.HostMAC(2), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := tbl.Add(ethernet.HostMAC(3), 1, 0)
+	if !errors.Is(err, ErrTableFull) {
+		t.Fatalf("overflow err = %v, want ErrTableFull", err)
+	}
+	// Overwrite of an existing key must still succeed.
+	if err := tbl.Add(ethernet.HostMAC(2), 1, 3); err != nil {
+		t.Fatalf("overwrite failed: %v", err)
+	}
+	if port, _ := tbl.Lookup(ethernet.HostMAC(2), 1); port != 3 {
+		t.Fatal("overwrite not applied")
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tbl.Len())
+	}
+}
+
+func TestUnicastStats(t *testing.T) {
+	tbl := NewUnicast(1)
+	_ = tbl.Add(ethernet.HostMAC(1), 1, 0)
+	tbl.Lookup(ethernet.HostMAC(1), 1)
+	tbl.Lookup(ethernet.HostMAC(9), 1)
+	lookups, misses := tbl.Stats()
+	if lookups != 2 || misses != 1 {
+		t.Fatalf("Stats = (%d,%d), want (2,1)", lookups, misses)
+	}
+}
+
+func TestMulticast(t *testing.T) {
+	tbl := NewMulticast(2)
+	if err := tbl.Add(7, 0b1010); err != nil {
+		t.Fatal(err)
+	}
+	mask, ok := tbl.Lookup(7)
+	if !ok || mask != 0b1010 {
+		t.Fatalf("Lookup = (%b,%v)", mask, ok)
+	}
+	if _, ok := tbl.Lookup(8); ok {
+		t.Fatal("missing MC ID hit")
+	}
+}
+
+func TestMulticastZeroCapacity(t *testing.T) {
+	// The paper's customized switches allocate no multicast table.
+	tbl := NewMulticast(0)
+	if err := tbl.Add(1, 1); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("zero-capacity add err = %v", err)
+	}
+	if tbl.Capacity() != 0 {
+		t.Fatal("capacity not 0")
+	}
+}
+
+func TestClassTable(t *testing.T) {
+	tbl := NewClass(8)
+	k := ClassKey{Src: ethernet.HostMAC(1), Dst: ethernet.HostMAC(2), VID: 10, PRI: 7}
+	e := ClassEntry{MeterID: 3, QueueID: 7, HasMeter: true}
+	if err := tbl.Add(k, e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Lookup(k)
+	if !ok || got != e {
+		t.Fatalf("Lookup = (%+v,%v)", got, ok)
+	}
+	// PRI participates in the key.
+	k2 := k
+	k2.PRI = 5
+	if _, ok := tbl.Lookup(k2); ok {
+		t.Fatal("lookup with wrong PRI hit")
+	}
+}
+
+func TestClassCapacity(t *testing.T) {
+	tbl := NewClass(1)
+	k1 := ClassKey{VID: 1}
+	k2 := ClassKey{VID: 2}
+	if err := tbl.Add(k1, ClassEntry{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Add(k2, ClassEntry{}); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	f := &ethernet.Frame{
+		Src: ethernet.HostMAC(1), Dst: ethernet.HostMAC(2),
+		VID: 55, PCP: 6,
+	}
+	k := KeyFor(f)
+	want := ClassKey{Src: f.Src, Dst: f.Dst, VID: 55, PRI: 6}
+	if k != want {
+		t.Fatalf("KeyFor = %+v", k)
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"unicast":   func() { NewUnicast(-1) },
+		"multicast": func() { NewMulticast(-1) },
+		"class":     func() { NewClass(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative capacity did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: a unicast table never holds more entries than its capacity,
+// and every successful Add is subsequently visible.
+func TestUnicastCapacityProperty(t *testing.T) {
+	prop := func(ids []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		tbl := NewUnicast(capacity)
+		for _, id := range ids {
+			mac := ethernet.HostMAC(int(id % 64))
+			err := tbl.Add(mac, 1, int(id))
+			if err == nil {
+				if port, ok := tbl.Lookup(mac, 1); !ok || port != int(id) {
+					return false
+				}
+			}
+			if tbl.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package trace records per-packet dataplane events — the software
+// equivalent of the probe points a hardware bring-up would watch with a
+// logic analyzer. Switches emit an event at ingress, at enqueue, at
+// every drop and at transmission start; the recorder indexes them by
+// packet so tests and tools can reconstruct a frame's journey and check
+// invariants like CQF's one-slot-per-hop advancement.
+package trace
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds in pipeline order.
+const (
+	KindIngress Kind = iota
+	KindEnqueue
+	KindDrop
+	KindTxStart
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindIngress:
+		return "ingress"
+	case KindEnqueue:
+		return "enqueue"
+	case KindDrop:
+		return "drop"
+	case KindTxStart:
+		return "tx-start"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one probe sample.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Switch int
+	Port   int
+	Queue  int
+	FlowID uint32
+	Seq    uint32
+	// Detail carries the drop reason or other annotations.
+	Detail string
+}
+
+// PacketKey identifies one packet across hops.
+type PacketKey struct {
+	FlowID uint32
+	Seq    uint32
+}
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder ignores all records, so dataplanes can call it
+// unconditionally.
+type Recorder struct {
+	events   []Event
+	byPacket map[PacketKey][]int
+	// Limit bounds stored events (0 = unlimited). Beyond it new events
+	// are counted but not stored.
+	Limit   int
+	dropped uint64
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if r.Limit > 0 && len(r.events) >= r.Limit {
+		r.dropped++
+		return
+	}
+	if r.byPacket == nil {
+		r.byPacket = make(map[PacketKey][]int)
+	}
+	idx := len(r.events)
+	r.events = append(r.events, ev)
+	k := PacketKey{FlowID: ev.FlowID, Seq: ev.Seq}
+	r.byPacket[k] = append(r.byPacket[k], idx)
+}
+
+// Len returns the number of stored events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Truncated returns how many events exceeded Limit.
+func (r *Recorder) Truncated() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events returns all stored events in record order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Packet returns a packet's events in record (time) order.
+func (r *Recorder) Packet(flowID, seq uint32) []Event {
+	if r == nil {
+		return nil
+	}
+	idxs := r.byPacket[PacketKey{FlowID: flowID, Seq: seq}]
+	out := make([]Event, len(idxs))
+	for i, idx := range idxs {
+		out[i] = r.events[idx]
+	}
+	return out
+}
+
+// Filter returns stored events matching kind.
+func (r *Recorder) Filter(kind Kind) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for _, ev := range r.events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String renders an event compactly.
+func (e Event) String() string {
+	s := fmt.Sprintf("%v %s sw%d.p%d q%d flow=%d seq=%d",
+		e.At, e.Kind, e.Switch, e.Port, e.Queue, e.FlowID, e.Seq)
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndQuery(t *testing.T) {
+	var r Recorder
+	r.Record(Event{At: 10, Kind: KindIngress, Switch: 0, FlowID: 1, Seq: 5})
+	r.Record(Event{At: 20, Kind: KindEnqueue, Switch: 0, Port: 1, Queue: 7, FlowID: 1, Seq: 5})
+	r.Record(Event{At: 30, Kind: KindTxStart, Switch: 0, Port: 1, Queue: 7, FlowID: 1, Seq: 5})
+	r.Record(Event{At: 40, Kind: KindIngress, Switch: 1, FlowID: 2, Seq: 0})
+
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	pkt := r.Packet(1, 5)
+	if len(pkt) != 3 {
+		t.Fatalf("packet events = %d", len(pkt))
+	}
+	for i := 1; i < len(pkt); i++ {
+		if pkt[i].At < pkt[i-1].At {
+			t.Fatal("packet events out of order")
+		}
+	}
+	if got := r.Filter(KindIngress); len(got) != 2 {
+		t.Fatalf("ingress events = %d", len(got))
+	}
+	if got := r.Packet(9, 9); len(got) != 0 {
+		t.Fatal("unknown packet returned events")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{}) // must not panic
+	if r.Len() != 0 || r.Events() != nil || r.Packet(1, 1) != nil ||
+		r.Filter(KindDrop) != nil || r.Truncated() != 0 {
+		t.Fatal("nil recorder misbehaved")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := Recorder{Limit: 2}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Seq: uint32(i)})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Truncated() != 3 {
+		t.Fatalf("Truncated = %d", r.Truncated())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: 1000, Kind: KindDrop, Switch: 2, Port: 1, Queue: 7,
+		FlowID: 3, Seq: 4, Detail: "queue-full"}
+	s := e.String()
+	for _, frag := range []string{"drop", "sw2.p1", "q7", "flow=3", "queue-full"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("event string %q missing %q", s, frag)
+		}
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind formatting")
+	}
+	for k := KindIngress; k <= KindTxStart; k++ {
+		if k.String() == "" {
+			t.Error("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package tsnnic models the paper's network tester: a Zynq-based NIC
+// ("TSNNic") that injects user-defined TS/RC/BE flows into the TSN
+// network and, at the receive side, hands frames to the analyzer.
+//
+// Each NIC has a strict-priority MAC with one FIFO per traffic class,
+// so a periodic TS injection is never stuck behind a queued background
+// frame for more than one MTU time. TS flows fire at offset + k·period
+// (the offset comes from the ITP planner); RC and BE flows are paced at
+// their configured rate.
+package tsnnic
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/analyzer"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// NIC is one tester endpoint.
+type NIC struct {
+	HostID int
+
+	engine *sim.Engine
+	ifc    *netdev.Ifc
+
+	// Strict-priority MAC FIFOs indexed by class (TS > RC > BE).
+	fifos [3][]*ethernet.Frame
+	busy  bool
+
+	// Collector receives frames arriving at this NIC; shared collectors
+	// across NICs are allowed (one "analyzer" box).
+	Collector *analyzer.Collector
+
+	// sent counts transmitted frames per flow.
+	sent map[uint32]uint64
+	seq  map[uint32]uint32
+
+	// stopAt bounds generation (0 = unbounded).
+	stopAt sim.Time
+}
+
+// New creates a NIC for hostID on engine with the given line rate.
+func New(engine *sim.Engine, hostID int, rate ethernet.Rate, col *analyzer.Collector) *NIC {
+	n := &NIC{
+		HostID:    hostID,
+		engine:    engine,
+		Collector: col,
+		sent:      make(map[uint32]uint64),
+		seq:       make(map[uint32]uint32),
+	}
+	n.ifc = netdev.NewIfc(engine, fmt.Sprintf("nic%d", hostID), n, rate)
+	return n
+}
+
+// Ifc returns the NIC's physical interface for cabling.
+func (n *NIC) Ifc() *netdev.Ifc { return n.ifc }
+
+// SetStopTime bounds flow generation: no frame is enqueued at or after
+// t. Zero means unbounded.
+func (n *NIC) SetStopTime(t sim.Time) { n.stopAt = t }
+
+// Sent returns per-flow transmit counts (live map; read-only use).
+func (n *NIC) Sent() map[uint32]uint64 { return n.sent }
+
+// Receive implements netdev.Receiver: arriving frames go to the
+// analyzer collector.
+func (n *NIC) Receive(f *ethernet.Frame, on *netdev.Ifc) {
+	if n.Collector != nil {
+		n.Collector.Record(f, n.engine.Now())
+	}
+}
+
+// classIndex orders FIFOs: 0 = TS (highest), 1 = RC, 2 = BE.
+func classIndex(c ethernet.Class) int {
+	switch c {
+	case ethernet.ClassTS:
+		return 0
+	case ethernet.ClassRC:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// drain starts the next transmission if the wire is free, strict
+// priority across the class FIFOs.
+func (n *NIC) drain() {
+	if n.busy {
+		return
+	}
+	for ci := 0; ci < 3; ci++ {
+		if len(n.fifos[ci]) == 0 {
+			continue
+		}
+		f := n.fifos[ci][0]
+		n.fifos[ci] = n.fifos[ci][1:]
+		// Stamp the tester timestamp when the frame actually hits the
+		// wire: queueing inside the tester is not network latency.
+		f.SentAt = n.engine.Now()
+		n.busy = true
+		n.ifc.Transmit(f, func() {
+			n.busy = false
+			n.drain()
+		})
+		return
+	}
+}
+
+// inject enqueues one frame of spec into the MAC.
+func (n *NIC) inject(spec *flows.Spec) {
+	seq := n.seq[spec.ID]
+	n.seq[spec.ID] = seq + 1
+	n.sent[spec.ID]++
+	f := &ethernet.Frame{
+		Dst:       ethernet.HostMAC(spec.DstHost),
+		Src:       ethernet.HostMAC(spec.SrcHost),
+		VID:       spec.VID,
+		PCP:       spec.PCP,
+		EtherType: ethernet.TypeTSN,
+		Payload:   make([]byte, ethernet.PayloadForWireSize(spec.WireSize)),
+		FlowID:    spec.ID,
+		Seq:       seq,
+		Class:     spec.Class,
+	}
+	ci := classIndex(spec.Class)
+	n.fifos[ci] = append(n.fifos[ci], f)
+	n.drain()
+}
+
+// StartFlow schedules spec's generation. TS flows fire at
+// Offset + k·Period; RC/BE flows are paced at their rate starting at
+// Offset.
+func (n *NIC) StartFlow(spec *flows.Spec) {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	if spec.SrcHost != n.HostID {
+		panic(fmt.Sprintf("tsnnic: flow %d src host %d started on NIC %d",
+			spec.ID, spec.SrcHost, n.HostID))
+	}
+	interval := spec.FrameInterval()
+	burst := spec.BurstFrames()
+	var tick func(e *sim.Engine)
+	tick = func(e *sim.Engine) {
+		if n.stopAt > 0 && e.Now() >= n.stopAt {
+			return
+		}
+		for i := 0; i < burst; i++ {
+			n.inject(spec)
+		}
+		e.After(interval, fmt.Sprintf("flow%d", spec.ID), tick)
+	}
+	n.engine.At(n.engine.Now()+spec.Offset, fmt.Sprintf("flow%d-start", spec.ID), tick)
+}

@@ -1,0 +1,424 @@
+package tsnswitch
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/buffering"
+	"github.com/tsnbuilder/tsnbuilder/internal/clock"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/filter"
+	"github.com/tsnbuilder/tsnbuilder/internal/forward"
+	"github.com/tsnbuilder/tsnbuilder/internal/gate"
+	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
+	"github.com/tsnbuilder/tsnbuilder/internal/shaper"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/trace"
+)
+
+// Switch is one TSN switch instance.
+type Switch struct {
+	cfg    Config
+	engine *sim.Engine
+	// Clock is the local synchronized clock driving Gate Ctrl. It
+	// defaults to a perfect clock; the testbed replaces it with the
+	// gPTP-disciplined one.
+	Clock *clock.Clock
+
+	fwd   *forward.Engine
+	flt   *filter.Engine
+	ports []*Port
+
+	// Tracer, when non-nil, receives per-packet dataplane events.
+	Tracer *trace.Recorder
+
+	stats Stats
+}
+
+// emit records a trace event if tracing is enabled.
+func (sw *Switch) emit(kind trace.Kind, port, queue int, f *ethernet.Frame, detail string) {
+	if sw.Tracer == nil {
+		return
+	}
+	sw.Tracer.Record(trace.Event{
+		At: sw.engine.Now(), Kind: kind,
+		Switch: sw.cfg.ID, Port: port, Queue: queue,
+		FlowID: f.FlowID, Seq: f.Seq, Detail: detail,
+	})
+}
+
+// Port is one enabled TSN port with its exclusive queue set, buffer
+// pool, gate tables and CBS bank (Fig. 4).
+type Port struct {
+	sw  *Switch
+	id  int
+	ifc *netdev.Ifc
+
+	queues []*buffering.Queue
+	pool   *buffering.Pool
+	inGCL  gate.Schedule
+	outGCL gate.Schedule
+	bank   *shaper.Bank
+
+	transmitting bool
+	retryPending bool
+	// Preemption state: the in-flight transmission handle, its queue,
+	// and a preempted frame awaiting resumption.
+	txHandle  *netdev.TxHandle
+	txQueue   int
+	txBufSlot int
+	suspended *suspendedTx
+}
+
+// suspendedTx is a preempted frame: its descriptor plus the bytes (and
+// fragment overhead) still to serialize.
+type suspendedTx struct {
+	desc      buffering.Descriptor
+	queue     int
+	remaining int
+}
+
+// New builds a switch from cfg on engine. Panics on invalid config
+// (construction is generator output; a bad config is a programming
+// error upstream).
+func New(engine *sim.Engine, cfg Config) *Switch {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sw := &Switch{
+		cfg:    cfg,
+		engine: engine,
+		Clock:  clock.New(0, 0),
+		fwd:    forward.New(cfg.UnicastSize, cfg.MulticastSize),
+		flt:    filter.New(cfg.ClassSize, cfg.MeterSize, cfg.QueuesPerPort),
+	}
+	// SMS mode: one pool shared by every port; default: exclusive
+	// per-port pools (Fig. 4).
+	var shared *buffering.Pool
+	if cfg.SharedBufferNum > 0 {
+		shared = buffering.NewPool(cfg.SharedBufferNum)
+	}
+	for p := 0; p < cfg.Ports; p++ {
+		in, out := gate.CQF(cfg.SlotSize, cfg.TSQueueA, cfg.TSQueueB)
+		pool := shared
+		if pool == nil {
+			pool = buffering.NewPool(cfg.BuffersPerPort)
+		}
+		port := &Port{
+			sw:     sw,
+			id:     p,
+			pool:   pool,
+			inGCL:  in,
+			outGCL: out,
+			bank:   shaper.NewBank(cfg.CBSMapSize, cfg.CBSSize),
+		}
+		port.ifc = netdev.NewIfc(engine, fmt.Sprintf("sw%d.p%d", cfg.ID, p), port, cfg.RateFor(p))
+		for q := 0; q < cfg.QueuesPerPort; q++ {
+			port.queues = append(port.queues, buffering.NewQueue(cfg.QueueDepth))
+		}
+		sw.ports = append(sw.ports, port)
+	}
+	return sw
+}
+
+// ID returns the switch identifier.
+func (sw *Switch) ID() int { return sw.cfg.ID }
+
+// Config returns the resource specification the switch was built with.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// Port returns port p's handle.
+func (sw *Switch) Port(p int) *Port {
+	if p < 0 || p >= len(sw.ports) {
+		panic(fmt.Sprintf("tsnswitch: port %d out of range (%d ports)", p, len(sw.ports)))
+	}
+	return sw.ports[p]
+}
+
+// Ifc returns the physical interface of port p, for cabling.
+func (sw *Switch) Ifc(p int) *netdev.Ifc { return sw.Port(p).ifc }
+
+// Stats returns a copy of the dataplane counters.
+func (sw *Switch) Stats() Stats { return sw.stats }
+
+// Forward returns the Packet Switch stage for control-plane
+// programming.
+func (sw *Switch) Forward() *forward.Engine { return sw.fwd }
+
+// Filter returns the Ingress Filter stage for control-plane
+// programming.
+func (sw *Switch) Filter() *filter.Engine { return sw.flt }
+
+// Bank returns port p's CBS bank for control-plane programming.
+func (sw *Switch) Bank(p int) *shaper.Bank { return sw.Port(p).bank }
+
+// Pool returns the port's buffer pool (shared across ports in SMS
+// mode) for occupancy inspection.
+func (p *Port) Pool() *buffering.Pool { return p.pool }
+
+// SetPortSchedules replaces port p's in/out gate schedules — how the
+// control plane loads a synthesized 802.1Qbv GCL instead of the
+// default CQF pair. The schedule entry count must fit the configured
+// gate table size.
+func (sw *Switch) SetPortSchedules(p int, in, out gate.Schedule) error {
+	if in == nil || out == nil {
+		return fmt.Errorf("tsnswitch: nil schedule")
+	}
+	if in.Size() > sw.cfg.GateSize || out.Size() > sw.cfg.GateSize {
+		return fmt.Errorf("tsnswitch: schedule of %d/%d entries exceeds gate table size %d",
+			in.Size(), out.Size(), sw.cfg.GateSize)
+	}
+	port := sw.Port(p)
+	port.inGCL, port.outGCL = in, out
+	return nil
+}
+
+// localTime returns the Gate Ctrl time base: the synchronized local
+// clock reading.
+func (sw *Switch) localTime() sim.Time { return sw.Clock.Now(sw.engine.Now()) }
+
+// Receive implements netdev.Receiver on Port: frames arriving on any
+// port enter the shared ingress pipeline.
+func (p *Port) Receive(f *ethernet.Frame, on *netdev.Ifc) {
+	p.sw.ingress(f)
+}
+
+// ingress runs Packet Switch and Ingress Filter, then hands the frame
+// to each output port's enqueue stage.
+func (sw *Switch) ingress(f *ethernet.Frame) {
+	sw.stats.RxFrames++
+	sw.emit(trace.KindIngress, -1, -1, f, "")
+	outPorts, ok := sw.fwd.Resolve(f)
+	if !ok {
+		sw.stats.Drops[DropNoRoute]++
+		sw.emit(trace.KindDrop, -1, -1, f, DropNoRoute.String())
+		return
+	}
+	v := sw.flt.Process(f, sw.engine.Now())
+	if !v.Conform {
+		sw.stats.Drops[DropMeter]++
+		sw.emit(trace.KindDrop, -1, -1, f, DropMeter.String())
+		return
+	}
+	for _, op := range outPorts {
+		if op < 0 || op >= len(sw.ports) {
+			sw.stats.Drops[DropNoRoute]++
+			continue
+		}
+		// Multicast replication clones; the common unicast case moves
+		// the frame through untouched.
+		g := f
+		if len(outPorts) > 1 {
+			g = f.Clone()
+		}
+		sw.ports[op].enqueue(g, v.QueueID)
+	}
+}
+
+// enqueue applies Gate Ctrl's ingress gate and the queue/buffer
+// admission of Fig. 4, then kicks the egress scheduler.
+func (p *Port) enqueue(f *ethernet.Frame, queueID int) {
+	sw := p.sw
+	local := sw.localTime()
+	// CQF redirects TS frames to whichever pair queue is accepting
+	// this slot; other queues are admitted iff their in-gate is open.
+	qid := gate.EnqueueTarget(p.inGCL, local, queueID, sw.cfg.TSQueueA, sw.cfg.TSQueueB)
+	if qid < 0 {
+		sw.stats.Drops[DropGateClosed]++
+		sw.emit(trace.KindDrop, p.id, queueID, f, DropGateClosed.String())
+		return
+	}
+	slot, ok := p.pool.Alloc(f.BufferBytes())
+	if !ok {
+		sw.stats.Drops[DropBufferFull]++
+		sw.emit(trace.KindDrop, p.id, qid, f, DropBufferFull.String())
+		return
+	}
+	if !p.queues[qid].Push(buffering.Descriptor{Frame: f, Slot: slot, EnqueuedAt: sw.engine.Now()}) {
+		p.pool.Free(slot)
+		sw.stats.Drops[DropQueueFull]++
+		sw.emit(trace.KindDrop, p.id, qid, f, DropQueueFull.String())
+		return
+	}
+	sw.emit(trace.KindEnqueue, p.id, qid, f, "")
+	p.maybePreempt(qid)
+	p.tryTransmit()
+}
+
+// isExpress reports whether queue q carries express (TS) traffic.
+func (p *Port) isExpress(q int) bool {
+	return q == p.sw.cfg.TSQueueA || q == p.sw.cfg.TSQueueB
+}
+
+// maybePreempt interrupts an in-flight preemptable frame when an
+// express frame just became ready (802.1Qbu). The express frame must
+// actually be transmittable now — gate open and inside its guard
+// window — or the preemption would idle the wire for nothing.
+func (p *Port) maybePreempt(arrivedQueue int) {
+	sw := p.sw
+	if !sw.cfg.EnablePreemption || !p.transmitting || p.txHandle == nil {
+		return
+	}
+	if p.isExpress(p.txQueue) || !p.isExpress(arrivedQueue) {
+		return
+	}
+	if p.suspended != nil {
+		return // one suspended frame at a time (802.3br)
+	}
+	local := sw.localTime()
+	q, ok := p.selectQueue(local)
+	if !ok || !p.isExpress(q) {
+		return
+	}
+	remaining, ok := p.txHandle.Abort()
+	if !ok {
+		return // too early or too late in the frame to cut legally
+	}
+	frame := p.txHandle.Frame()
+	p.suspended = &suspendedTx{
+		desc:      buffering.Descriptor{Frame: frame, Slot: p.txBufSlot},
+		queue:     p.txQueue,
+		remaining: remaining,
+	}
+	p.txHandle = nil
+	// The wire stays occupied for the fragment's mCRC + IFG; the port
+	// frees (and the express frame starts) once it clears. transmitting
+	// stays true until then so re-entrant tryTransmit calls no-op.
+	gap := p.ifc.FreeAt() - sw.engine.Now()
+	if gap < 0 {
+		gap = 0
+	}
+	sw.engine.After(gap, fmt.Sprintf("sw%d.p%d.preempt-gap", sw.cfg.ID, p.id), func(*sim.Engine) {
+		p.transmitting = false
+		p.tryTransmit()
+	})
+}
+
+// selectQueue implements Egress Sched: strict priority (highest queue
+// index first) over queues that are non-empty, whose egress gate is
+// open, whose CBS (if any) has non-negative credit, and — for the
+// CQF-gated TS queues — whose head frame fits in the remaining slot
+// (length-aware guard band).
+func (p *Port) selectQueue(local sim.Time) (int, bool) {
+	sw := p.sw
+	outState := p.outGCL.StateAt(local)
+	for q := len(p.queues) - 1; q >= 0; q-- {
+		queue := p.queues[q]
+		if queue.Len() == 0 {
+			continue
+		}
+		if !outState.Open(q) {
+			continue
+		}
+		if cbs := p.bank.For(q); cbs != nil && !cbs.Eligible(sw.engine.Now()) {
+			continue
+		}
+		if q == sw.cfg.TSQueueA || q == sw.cfg.TSQueueB {
+			head, _ := queue.Peek()
+			if ethernet.FrameTxTime(head.Frame, sw.cfg.RateFor(p.id)) > p.outGCL.TimeToBoundary(local) {
+				// Guard band: the frame would overrun the slot.
+				continue
+			}
+		}
+		return q, true
+	}
+	return 0, false
+}
+
+// tryTransmit starts one transmission if the port is idle and a queue
+// is eligible; otherwise it arms a retry at the next slot boundary.
+// A suspended (preempted) frame resumes as soon as no express frame is
+// ready.
+func (p *Port) tryTransmit() {
+	if p.transmitting {
+		return
+	}
+	sw := p.sw
+	local := sw.localTime()
+	q, ok := p.selectQueue(local)
+	if p.suspended != nil && (!ok || !p.isExpress(q)) {
+		p.resumeSuspended()
+		return
+	}
+	if !ok {
+		p.armRetry(local)
+		return
+	}
+	d, _ := p.queues[q].Pop()
+	if cbs := p.bank.For(q); cbs != nil {
+		cbs.OnSend(sw.engine.Now(), int64(d.Frame.WireBytes())*8,
+			ethernet.FrameTxTime(d.Frame, sw.cfg.RateFor(p.id)))
+		if p.queues[q].Len() == 0 {
+			cbs.OnEmpty(sw.engine.Now())
+		}
+	}
+	p.transmitting = true
+	p.txQueue = q
+	sw.emit(trace.KindTxStart, p.id, q, d.Frame, "")
+	p.txHandle = p.ifc.TransmitHandle(d.Frame, func() {
+		p.pool.Free(d.Slot)
+		sw.stats.TxFrames++
+		p.transmitting = false
+		p.txHandle = nil
+		p.tryTransmit()
+	})
+	p.txBufSlot = d.Slot
+}
+
+// resumeSuspended continues a preempted frame's remaining fragment.
+func (p *Port) resumeSuspended() {
+	sw := p.sw
+	s := p.suspended
+	p.suspended = nil
+	p.transmitting = true
+	p.txQueue = s.queue
+	sw.emit(trace.KindTxStart, p.id, s.queue, s.desc.Frame, "resume")
+	p.txHandle = p.ifc.Resume(s.desc.Frame, s.remaining, func() {
+		p.pool.Free(s.desc.Slot)
+		sw.stats.TxFrames++
+		p.transmitting = false
+		p.txHandle = nil
+		p.tryTransmit()
+	})
+	p.txBufSlot = s.desc.Slot
+}
+
+// armRetry schedules a re-evaluation at the next gate slot boundary if
+// any queue holds a frame. Gates are the only time-dependent blockers
+// besides CBS credit; CBS-blocked queues are also re-checked then (the
+// slot is far longer than any credit recovery of interest).
+func (p *Port) armRetry(local sim.Time) {
+	if p.retryPending {
+		return
+	}
+	pending := false
+	for _, q := range p.queues {
+		if q.Len() > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		return
+	}
+	p.retryPending = true
+	// Convert the local-time distance to the boundary into engine time.
+	// The synchronized clock's rate error is < 1e-4, i.e. < 7 ns over a
+	// 65 µs slot — far below the guard band — so the distance is used
+	// as-is, plus 1 ns to land strictly inside the next slot.
+	delay := p.outGCL.TimeToBoundary(local) + 1
+	p.sw.engine.After(delay, fmt.Sprintf("sw%d.p%d.retry", p.sw.cfg.ID, p.id), func(*sim.Engine) {
+		p.retryPending = false
+		p.tryTransmit()
+	})
+}
+
+// QueueHighWater returns the worst-case occupancy of queue q on port
+// portID, the dimensioning signal of §III.C.
+func (sw *Switch) QueueHighWater(portID, q int) int {
+	return sw.Port(portID).queues[q].HighWater()
+}
+
+// PoolHighWater returns the worst-case buffer occupancy of port portID.
+func (sw *Switch) PoolHighWater(portID int) int {
+	return sw.Port(portID).pool.HighWater()
+}

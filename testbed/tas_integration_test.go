@@ -1,0 +1,115 @@
+package testbed
+
+import (
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/tas"
+	"github.com/tsnbuilder/tsnbuilder/internal/topology"
+)
+
+// buildTASNet assembles a TAS-scheduled ring network.
+func buildTASNet(t *testing.T, gptpOn bool) (*Net, *tas.Schedule, []*flows.Spec) {
+	t.Helper()
+	topo := topology.Ring(6)
+	for h := 0; h < 6; h++ {
+		topo.AttachHost(100+h, h)
+	}
+	specs := flows.GenerateTS(flows.TSParams{
+		Count: 48, Period: 10 * sim.Millisecond, WireSize: 64, VID: 1,
+		Hosts: func(i int) (int, int) { return 100 + i%6, 100 + (i+2)%6 },
+		Seed:  13,
+	})
+	for i, s := range specs {
+		s.VID = uint16(1 + i)
+	}
+	if err := core.BindPaths(topo, specs); err != nil {
+		t.Fatal(err)
+	}
+	// A generous guard absorbs residual clock error under gPTP.
+	sch, err := tas.Synthesize(specs, topo, tas.Options{MaxFrameBytes: 64, Guard: 4 * sim.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der, err := core.DeriveConfig(core.Scenario{Topo: topo, Flows: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := der.Config
+	if sch.MaxGateEntries > cfg.GateSize {
+		cfg.GateSize = sch.MaxGateEntries
+	}
+	design, err := core.BuilderFor(cfg, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(Options{Design: design, Topo: topo, Flows: specs,
+		EnableGPTP: gptpOn, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.InstallTAS(sch); err != nil {
+		t.Fatal(err)
+	}
+	sch.Apply(specs)
+	return net, sch, specs
+}
+
+func TestTASWithGPTPClocks(t *testing.T) {
+	// TAS schedules must survive real (synchronized, sub-50ns) clocks:
+	// the 2 s warmup is a multiple of the 10 ms cycle, so injections
+	// stay phase-aligned with the gate lists.
+	net, _, _ := buildTASNet(t, true)
+	net.Run(2*sim.Second, 50*sim.Millisecond)
+	s := net.Summary(ethernet.ClassTS)
+	if s.Lost != 0 {
+		t.Fatalf("TAS under gPTP lost %d of %d (drops %+v)",
+			s.Lost, s.Sent, net.SwitchStats().Drops)
+	}
+	// Microsecond-scale latency: no CQF slot quantization.
+	if s.MeanLatency > 30*sim.Microsecond {
+		t.Fatalf("TAS mean latency %v, want µs scale", s.MeanLatency)
+	}
+}
+
+func TestTASWorstCaseBoundHolds(t *testing.T) {
+	net, sch, specs := buildTASNet(t, false)
+	net.Run(0, 50*sim.Millisecond)
+	if net.Summary(ethernet.ClassTS).Lost != 0 {
+		t.Fatal("loss")
+	}
+	// Every flow's measured max must respect the synthesized bound
+	// (plus the final-hop cable the bound already includes).
+	topo := net.opts.Topo
+	for _, spec := range specs {
+		st := net.Collector.Flow(spec.ID)
+		if st == nil {
+			continue
+		}
+		bound, err := sch.WorstCaseLatency(spec, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxLat > bound {
+			t.Fatalf("flow %d max %v exceeds synthesized bound %v", spec.ID, st.MaxLat, bound)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Two identical builds must produce bit-identical summaries.
+	run := func() (sim.Time, sim.Time, uint64) {
+		net, _ := ringScenario(t, 64, 3, true)
+		net.Run(2*sim.Second, 50*sim.Millisecond)
+		s := net.Summary(ethernet.ClassTS)
+		return s.MeanLatency, s.Jitter, s.Received
+	}
+	m1, j1, r1 := run()
+	m2, j2, r2 := run()
+	if m1 != m2 || j1 != j2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%v,%v,%d) vs (%v,%v,%d)", m1, j1, r1, m2, j2, r2)
+	}
+}

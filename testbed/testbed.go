@@ -1,0 +1,427 @@
+// Package testbed assembles complete simulated TSN networks from a
+// TSN-Builder design: it instantiates one switch model per topology
+// node, cables trunks and TSNNic end stations, programs the forwarding
+// and classification tables for every flow, configures meters and
+// credit-based shapers, synchronizes all switch clocks with gPTP, and
+// runs the scenario while the analyzer collects latency/jitter/loss —
+// the software equivalent of the paper's Fig. 6 demo setup.
+package testbed
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/analyzer"
+	"github.com/tsnbuilder/tsnbuilder/internal/clock"
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/gate"
+	"github.com/tsnbuilder/tsnbuilder/internal/gptp"
+	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
+	"github.com/tsnbuilder/tsnbuilder/internal/pcap"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/tables"
+	"github.com/tsnbuilder/tsnbuilder/internal/tas"
+	"github.com/tsnbuilder/tsnbuilder/internal/topology"
+	"github.com/tsnbuilder/tsnbuilder/internal/trace"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnnic"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+)
+
+// Options configures Build.
+type Options struct {
+	// Design supplies every switch's resource configuration.
+	Design *core.Design
+	// Topo is the network shape with hosts already attached.
+	Topo *topology.Topology
+	// Flows must have paths bound (core.BindPaths).
+	Flows []*flows.Spec
+	// CableDelay is the propagation delay of every cable (default
+	// 100 ns ≈ 20 m).
+	CableDelay sim.Time
+	// EnableGPTP synchronizes switch clocks over the trunk links; when
+	// false all switches share perfect clocks.
+	EnableGPTP bool
+	// SharedBufferNum, when positive, builds every switch with one
+	// shared buffer pool of that size (SMS architecture) instead of the
+	// design's per-port pools.
+	SharedBufferNum int
+	// EnableTrace records per-packet dataplane events from every switch
+	// into Net.Tracer (bounded at one million events).
+	EnableTrace bool
+	// DisableCBS skips credit-based shaper configuration: RC queues
+	// run on bare strict priority (the E-CBS ablation's baseline).
+	DisableCBS bool
+	// Pcap, when non-nil, receives a nanosecond-resolution capture of
+	// every frame delivered to an end device.
+	Pcap io.Writer
+	// AccessRate, when positive, sets the line rate of every host
+	// access port (and its NIC) — mixed-speed networks with slower
+	// field devices on fast trunks. Zero keeps the design's LinkRate.
+	AccessRate ethernet.Rate
+	// Seed drives clock drift assignment.
+	Seed uint64
+}
+
+// Net is a built network ready to run.
+type Net struct {
+	Engine    *sim.Engine
+	Switches  []*tsnswitch.Switch
+	NICs      map[int]*tsnnic.NIC
+	Collector *analyzer.Collector
+	Domain    *gptp.Domain    // nil without gPTP
+	Tracer    *trace.Recorder // nil unless EnableTrace
+	Capture   *pcap.Writer    // nil unless Options.Pcap set
+
+	opts  Options
+	specs []*flows.Spec
+}
+
+// Build assembles the network.
+func Build(opts Options) (*Net, error) {
+	if opts.Design == nil || opts.Topo == nil {
+		return nil, fmt.Errorf("testbed: missing design or topology")
+	}
+	if opts.CableDelay == 0 {
+		opts.CableDelay = 100 * sim.Nanosecond
+	}
+	engine := sim.NewEngine()
+	n := &Net{
+		Engine:    engine,
+		NICs:      make(map[int]*tsnnic.NIC),
+		Collector: analyzer.NewCollector(),
+		opts:      opts,
+		specs:     opts.Flows,
+	}
+
+	if opts.EnableTrace {
+		n.Tracer = &trace.Recorder{Limit: 1 << 20}
+	}
+
+	// Access ports run at AccessRate when configured.
+	accessPorts := make(map[topology.Attach]bool)
+	if opts.AccessRate > 0 {
+		for _, h := range opts.Topo.Hosts() {
+			at, _ := opts.Topo.HostAttach(h)
+			accessPorts[at] = true
+		}
+	}
+
+	// Switches, one per topology node.
+	for s := 0; s < opts.Topo.N; s++ {
+		cfg := opts.Design.SwitchConfig(s, opts.Topo.PortCount(s))
+		cfg.SharedBufferNum = opts.SharedBufferNum
+		if opts.AccessRate > 0 {
+			cfg.PortRates = make([]ethernet.Rate, cfg.Ports)
+			for pt := 0; pt < cfg.Ports; pt++ {
+				if accessPorts[topology.Attach{Switch: s, Port: pt}] {
+					cfg.PortRates[pt] = opts.AccessRate
+				}
+			}
+		}
+		sw := tsnswitch.New(engine, cfg)
+		sw.Tracer = n.Tracer
+		n.Switches = append(n.Switches, sw)
+	}
+
+	// Trunk cables.
+	for _, l := range opts.Topo.TrunkLinks() {
+		netdev.Connect(
+			n.Switches[l.A.Switch].Ifc(l.A.Port),
+			n.Switches[l.B.Switch].Ifc(l.B.Port),
+			opts.CableDelay,
+		)
+	}
+
+	// End stations, optionally tapped into a pcap capture.
+	var capture *pcap.Writer
+	if opts.Pcap != nil {
+		capture = pcap.NewWriter(opts.Pcap)
+		n.Capture = capture
+	}
+	for _, h := range opts.Topo.Hosts() {
+		at, _ := opts.Topo.HostAttach(h)
+		nicRate := opts.Design.Config.LinkRate
+		if opts.AccessRate > 0 {
+			nicRate = opts.AccessRate
+		}
+		nic := tsnnic.New(engine, h, nicRate, n.Collector)
+		netdev.Connect(nic.Ifc(), n.Switches[at.Switch].Ifc(at.Port), opts.CableDelay)
+		if capture != nil {
+			nic.Ifc().SetSniffer(func(f *ethernet.Frame, at sim.Time) {
+				// Capture errors only surface through Capture.Count.
+				_ = capture.WriteFrame(at, f)
+			})
+		}
+		n.NICs[h] = nic
+	}
+
+	// gPTP domain over the trunks, grandmaster at switch 0.
+	if opts.EnableGPTP {
+		dom := gptp.NewDomain(engine, gptp.DefaultConfig())
+		rng := sim.NewRand(opts.Seed ^ 0x74657374)
+		nodes := make([]*gptp.Node, opts.Topo.N)
+		for s := 0; s < opts.Topo.N; s++ {
+			drift := clock.PPB(rng.Int63n(100_000) - 50_000)
+			offset := sim.Time(rng.Int63n(int64(sim.Millisecond)))
+			if s == 0 {
+				drift, offset = 0, 0
+			}
+			nodes[s] = dom.AddNode(s, drift, offset)
+			n.Switches[s].Clock = nodes[s].Clock
+		}
+		for _, l := range opts.Topo.TrunkLinks() {
+			dom.Connect(nodes[l.A.Switch], nodes[l.B.Switch], opts.CableDelay)
+		}
+		dom.SetGrandmaster(nodes[0])
+		dom.Start()
+		n.Domain = dom
+	}
+
+	if err := n.program(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// program installs forwarding, classification, meter and CBS state for
+// every flow, as the embedded CPU does at run-time in the prototype.
+func (n *Net) program() error {
+	topo := n.opts.Topo
+	design := n.opts.Design
+	rcQueues := rcQueueSet(design.Config.QueueNum, design.Config.CBSMapSize)
+	nextMeter := 0
+	// Per (switch, port, queue) reserved RC bandwidth for CBS slopes.
+	type pq struct{ sw, port, q int }
+	reserved := map[pq]ethernet.Rate{}
+
+	for i, spec := range n.specs {
+		if len(spec.Path) == 0 {
+			return fmt.Errorf("testbed: flow %d path not bound", spec.ID)
+		}
+		dstAt, ok := topo.HostAttach(spec.DstHost)
+		if !ok {
+			return fmt.Errorf("testbed: flow %d destination host %d not attached", spec.ID, spec.DstHost)
+		}
+		// Queue assignment by class.
+		var queueID int
+		switch spec.Class {
+		case ethernet.ClassTS:
+			queueID = design.Config.QueueNum - 1 // CQF pair member A
+		case ethernet.ClassRC:
+			queueID = rcQueues[i%len(rcQueues)]
+		default:
+			queueID = 0
+		}
+		dstMAC := ethernet.HostMAC(spec.DstHost)
+
+		for h, swID := range spec.Path {
+			sw := n.Switches[swID]
+			// Egress port: toward the next switch, or the host port.
+			var outPort int
+			if h+1 < len(spec.Path) {
+				p, ok := topo.PortToward(swID, spec.Path[h+1])
+				if !ok {
+					return fmt.Errorf("testbed: flow %d: no trunk %d->%d", spec.ID, swID, spec.Path[h+1])
+				}
+				outPort = p
+			} else {
+				if dstAt.Switch != swID {
+					return fmt.Errorf("testbed: flow %d path ends at %d but host is on %d",
+						spec.ID, swID, dstAt.Switch)
+				}
+				outPort = dstAt.Port
+			}
+			if err := sw.Forward().Unicast.Add(dstMAC, spec.VID, outPort); err != nil {
+				return fmt.Errorf("testbed: flow %d switch %d: %w", spec.ID, swID, err)
+			}
+			entry := tables.ClassEntry{QueueID: queueID}
+			if spec.Class == ethernet.ClassRC {
+				entry.MeterID = nextMeter
+				entry.HasMeter = true
+				// The meter must admit the flow's declared burst; the
+				// CBS, not the policer, spreads it (802.1Qav).
+				burst := 4 * spec.WireSize
+				if b := 2 * spec.BurstFrames() * spec.WireSize; b > burst {
+					burst = b
+				}
+				if err := sw.Filter().Meters.Configure(nextMeter, spec.Rate+spec.Rate/10, burst); err != nil {
+					return fmt.Errorf("testbed: flow %d meter: %w", spec.ID, err)
+				}
+				reserved[pq{swID, outPort, queueID}] += spec.Rate
+			}
+			key := tables.ClassKey{
+				Src: ethernet.HostMAC(spec.SrcHost), Dst: dstMAC,
+				VID: spec.VID, PRI: spec.PCP,
+			}
+			if err := sw.Filter().Class.Add(key, entry); err != nil {
+				return fmt.Errorf("testbed: flow %d switch %d: %w", spec.ID, swID, err)
+			}
+		}
+		if spec.Class == ethernet.ClassRC {
+			nextMeter++
+		}
+		n.Collector.RegisterFlow(spec.ID, spec.Class)
+		if spec.Class == ethernet.ClassTS && spec.Deadline > 0 {
+			n.Collector.SetDeadline(spec.ID, spec.Deadline)
+		}
+	}
+
+	// CBS: one shaper per RC queue with reserved bandwidth + 25%
+	// headroom, capped below line rate.
+	if n.opts.DisableCBS {
+		return nil
+	}
+	type bankKey struct{ sw, port int }
+	nextCBS := map[bankKey]int{}
+	for cell, rate := range reserved {
+		sw := n.Switches[cell.sw]
+		bk := bankKey{cell.sw, cell.port}
+		id := nextCBS[bk]
+		nextCBS[bk] = id + 1
+		idle := rate + rate/4
+		if idle >= design.Config.LinkRate {
+			idle = design.Config.LinkRate - 1
+		}
+		bank := sw.Bank(cell.port)
+		if err := bank.Attach(cell.q, id); err != nil {
+			return fmt.Errorf("testbed: cbs attach sw%d p%d q%d: %w", cell.sw, cell.port, cell.q, err)
+		}
+		if err := bank.Configure(id, idle, design.Config.LinkRate); err != nil {
+			return fmt.Errorf("testbed: cbs configure: %w", err)
+		}
+	}
+	return nil
+}
+
+// rcQueueSet returns the queue indices reserved for RC traffic: the
+// ones just below the CQF pair (e.g. 5,4,3 with 8 queues and 3 RC
+// queues).
+func rcQueueSet(queueNum, rcCount int) []int {
+	if rcCount <= 0 {
+		return []int{queueNum - 3}
+	}
+	out := make([]int, 0, rcCount)
+	for q := queueNum - 3; q > queueNum-3-rcCount && q > 0; q-- {
+		out = append(out, q)
+	}
+	return out
+}
+
+// InstallTAS replaces the default CQF gate configuration with a
+// synthesized 802.1Qbv schedule: every port with reserved windows gets
+// the compiled in/out gate lists; ports without TS windows keep their
+// gates fully open. The design's gate table size must accommodate the
+// schedule (set Config.GateSize ≥ Schedule.MaxGateEntries before
+// building), and Run's warmup must be a multiple of the schedule cycle
+// so injection offsets stay phase-aligned with the gate lists.
+func (n *Net) InstallTAS(sch *tas.Schedule) error {
+	qa := n.opts.Design.Config.QueueNum - 1
+	qb := n.opts.Design.Config.QueueNum - 2
+	for s, sw := range n.Switches {
+		for p := 0; p < n.opts.Topo.PortCount(s); p++ {
+			pk := tas.PortKey{Switch: s, Port: p}
+			if len(sch.Windows[pk]) == 0 {
+				open := gate.NewVarGCL([]gate.VarEntry{{Mask: gate.AllOpen, Duration: sch.Cycle}})
+				if err := sw.SetPortSchedules(p, open, open); err != nil {
+					return err
+				}
+				continue
+			}
+			in, out, err := sch.GCLs(pk, qa, qb)
+			if err != nil {
+				return err
+			}
+			if err := sw.SetPortSchedules(p, in, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the scenario: gPTP (if enabled) converges during warmup,
+// flows generate for duration, then the network drains. Flow generation
+// begins at warmup and stops at warmup+duration.
+func (n *Net) Run(warmup, duration sim.Time) {
+	start := n.Engine.Now() + warmup
+	stop := start + duration
+	for _, spec := range n.specs {
+		nic, ok := n.NICs[spec.SrcHost]
+		if !ok {
+			panic(fmt.Sprintf("testbed: flow %d source host %d has no NIC", spec.ID, spec.SrcHost))
+		}
+		nic.SetStopTime(stop)
+		spec := spec
+		n.Engine.At(start, fmt.Sprintf("start-flow%d", spec.ID), func(*sim.Engine) {
+			nic.StartFlow(spec)
+		})
+	}
+	// Drain: two slots plus cable time covers any in-flight CQF frame.
+	drain := 4*n.opts.Design.Config.SlotSize + sim.Millisecond
+	n.Engine.RunUntil(stop + drain)
+}
+
+// SentCounts merges per-flow transmit counts across all NICs.
+func (n *Net) SentCounts() map[uint32]uint64 {
+	out := make(map[uint32]uint64)
+	for _, nic := range n.NICs {
+		for id, c := range nic.Sent() {
+			out[id] += c
+		}
+	}
+	return out
+}
+
+// Summary aggregates receive-side statistics for one traffic class.
+func (n *Net) Summary(cls ethernet.Class) analyzer.Summary {
+	return n.Collector.Summarize(cls, n.SentCounts())
+}
+
+// SwitchStats sums dataplane counters across all switches.
+func (n *Net) SwitchStats() tsnswitch.Stats {
+	var total tsnswitch.Stats
+	for _, sw := range n.Switches {
+		st := sw.Stats()
+		total.RxFrames += st.RxFrames
+		total.TxFrames += st.TxFrames
+		for i := range st.Drops {
+			total.Drops[i] += st.Drops[i]
+		}
+	}
+	return total
+}
+
+// CheckBufferLeaks verifies that every switch's buffer pools drained
+// back to empty — each allocated slot was freed exactly once. Call it
+// after Run (the drain window lets in-flight frames complete); a
+// non-nil error indicates a descriptor/pool leak in the dataplane.
+func (n *Net) CheckBufferLeaks() error {
+	for s, sw := range n.Switches {
+		for p := 0; p < n.opts.Topo.PortCount(s); p++ {
+			if inUse := sw.Port(p).Pool().InUse(); inUse != 0 {
+				return fmt.Errorf("testbed: switch %d port %d leaked %d buffers", s, p, inUse)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxQueueHighWater returns the worst TS-queue occupancy observed
+// anywhere, the empirical check of the ITP dimensioning.
+func (n *Net) MaxQueueHighWater() int {
+	worst := 0
+	qa := n.opts.Design.Config.QueueNum - 1
+	qb := n.opts.Design.Config.QueueNum - 2
+	for s, sw := range n.Switches {
+		for p := 0; p < n.opts.Topo.PortCount(s); p++ {
+			for _, q := range []int{qa, qb} {
+				if hw := sw.QueueHighWater(p, q); hw > worst {
+					worst = hw
+				}
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,77 @@
+package tsnbuilder_test
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/tsnbuilder"
+)
+
+// ExampleBuilder shows the raw Table II customization APIs: the ring
+// column of the paper's Table III, built by hand.
+func ExampleBuilder() {
+	design, err := tsnbuilder.NewBuilder(tsnbuilder.FPGA{}).
+		SetSwitchTbl(1024, 0).
+		SetClassTbl(1024).
+		SetMeterTbl(1024).
+		SetGateTbl(2, 8, 1).
+		SetCBSTbl(3, 3, 1).
+		SetQueues(12, 8, 1).
+		SetBuffers(96, 1).
+		Build()
+	if err != nil {
+		fmt.Println("build failed:", err)
+		return
+	}
+	fmt.Printf("total BRAM: %.0fKb\n", design.Report.TotalKb())
+	// Output:
+	// total BRAM: 2106Kb
+}
+
+// ExampleCommercialProfile prices the paper's BCM53154 baseline.
+func ExampleCommercialProfile() {
+	design, _ := tsnbuilder.BuilderFor(tsnbuilder.CommercialProfile(), nil).Build()
+	fmt.Printf("commercial BRAM: %.0fKb\n", design.Report.TotalKb())
+	// Output:
+	// commercial BRAM: 10818Kb
+}
+
+// ExampleDeriveConfig runs the §III.C guidelines on a small scenario.
+func ExampleDeriveConfig() {
+	topo := tsnbuilder.Ring(6)
+	for h := 0; h < 6; h++ {
+		topo.AttachHost(100+h, h)
+	}
+	specs := tsnbuilder.GenerateTS(tsnbuilder.TSParams{
+		Count:    128,
+		Period:   10 * tsnbuilder.Millisecond,
+		WireSize: 64,
+		VID:      1,
+		Hosts:    func(i int) (int, int) { return 100 + i%6, 100 + (i+2)%6 },
+		Seed:     1,
+	})
+	if err := tsnbuilder.BindPaths(topo, specs); err != nil {
+		fmt.Println(err)
+		return
+	}
+	der, err := tsnbuilder.DeriveConfig(tsnbuilder.Scenario{Topo: topo, Flows: specs})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("tables: %d entries, ports: %d, queue depth: %d, buffers/port: %d\n",
+		der.Config.UnicastSize, der.Config.PortNum, der.Config.QueueDepth, der.Config.BufferNum)
+	// Output:
+	// tables: 128 entries, ports: 1, queue depth: 2, buffers/port: 16
+}
+
+// ExampleDiffConfigs shows the reconfiguration delta between the
+// paper's linear and ring customizations.
+func ExampleDiffConfigs() {
+	linear := tsnbuilder.PaperCustomizedConfig(2)
+	ring := tsnbuilder.PaperCustomizedConfig(1)
+	for _, line := range tsnbuilder.DiffConfigs(linear, ring) {
+		fmt.Println(line)
+	}
+	// Output:
+	// per-port APIs: port_num 2 → 1
+}

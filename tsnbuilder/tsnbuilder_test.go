@@ -1,0 +1,92 @@
+package tsnbuilder_test
+
+import (
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/tsnbuilder"
+)
+
+// TestFacadeWorkflow exercises the documented top-down workflow through
+// the public API only.
+func TestFacadeWorkflow(t *testing.T) {
+	topo := tsnbuilder.Ring(6)
+	for h := 0; h < 6; h++ {
+		topo.AttachHost(100+h, h)
+	}
+	specs := tsnbuilder.GenerateTS(tsnbuilder.TSParams{
+		Count:    256,
+		Period:   10 * tsnbuilder.Millisecond,
+		WireSize: 64,
+		VID:      1,
+		Hosts:    func(i int) (int, int) { return 100 + i%6, 100 + (i+2)%6 },
+		Seed:     1,
+	})
+	if err := tsnbuilder.BindPaths(topo, specs); err != nil {
+		t.Fatal(err)
+	}
+	der, err := tsnbuilder.DeriveConfig(tsnbuilder.Scenario{Topo: topo, Flows: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := tsnbuilder.BuilderFor(der.Config, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tsnbuilder.BuilderFor(tsnbuilder.CommercialProfile(), nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Report.ReductionVs(base.Report) <= 0 {
+		t.Fatal("customized design not smaller than commercial")
+	}
+}
+
+func TestFacadeTableIIINumbers(t *testing.T) {
+	base, _ := tsnbuilder.BuilderFor(tsnbuilder.CommercialProfile(), nil).Build()
+	ring, _ := tsnbuilder.BuilderFor(tsnbuilder.PaperCustomizedConfig(1), nil).Build()
+	if base.Report.TotalKb() != 10818 || ring.Report.TotalKb() != 2106 {
+		t.Fatalf("totals = %v / %v", base.Report.TotalKb(), ring.Report.TotalKb())
+	}
+}
+
+func TestFacadeManualBuilder(t *testing.T) {
+	design, err := tsnbuilder.NewBuilder(tsnbuilder.ASIC{}).
+		SetSwitchTbl(512, 0).
+		SetClassTbl(512).
+		SetMeterTbl(512).
+		SetGateTbl(2, 8, 2).
+		SetCBSTbl(3, 3, 2).
+		SetQueues(8, 8, 2).
+		SetBuffers(64, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if design.Platform.Name() != "asic-sram" {
+		t.Fatal("platform not propagated")
+	}
+}
+
+func TestFacadePlanITP(t *testing.T) {
+	topo := tsnbuilder.Linear(4)
+	topo.AttachHost(1, 0)
+	topo.AttachHost(2, 3)
+	specs := tsnbuilder.GenerateTS(tsnbuilder.TSParams{
+		Count: 16, Period: 2 * tsnbuilder.Millisecond, WireSize: 128,
+		Hosts: func(i int) (int, int) { return 1, 2 },
+		Seed:  2,
+	})
+	if err := tsnbuilder.BindPaths(topo, specs); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tsnbuilder.PlanITP(specs, 65*tsnbuilder.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MaxOccupancy < 1 {
+		t.Fatal("empty plan")
+	}
+	if len(tsnbuilder.AllTemplates()) != 5 {
+		t.Fatal("template list wrong")
+	}
+}
