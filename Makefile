@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short vet bench fuzz examples reproduce clean
+.PHONY: all build test short race vet bench fuzz examples reproduce clean
 
 all: build vet test
 
@@ -12,6 +12,9 @@ test:
 
 short:
 	go test -short ./...
+
+race:
+	go test -race ./...
 
 vet:
 	go vet ./...

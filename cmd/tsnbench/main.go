@@ -11,18 +11,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate platform all)")
-		short  = flag.Bool("short", false, "reduced workload for quick runs")
-		seed   = flag.Uint64("seed", 42, "workload seed")
-		csvDir = flag.String("csv", "", "also write each latency series as CSV into this directory")
+		exp     = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate platform all)")
+		short   = flag.Bool("short", false, "reduced workload for quick runs")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		csvDir  = flag.String("csv", "", "also write each latency series as CSV into this directory")
+		metPath = flag.String("metrics", "", "write accumulated telemetry (all runs, one registry) to this file ('-' for stdout)")
+		metJSON = flag.Bool("metrics-json", false, "export -metrics as JSON instead of Prometheus text")
 	)
 	flag.Parse()
 	p := experiments.DefaultParams()
@@ -30,11 +34,38 @@ func main() {
 		p = experiments.ShortParams()
 	}
 	p.Seed = *seed
+	if *metPath != "" {
+		p.Metrics = metrics.New()
+	}
 	csvOut = *csvDir
 	if err := run(*exp, p); err != nil {
 		fmt.Fprintln(os.Stderr, "tsnbench:", err)
 		os.Exit(1)
 	}
+	if p.Metrics != nil {
+		if err := writeMetrics(p.Metrics, *metPath, *metJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "tsnbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeMetrics dumps the registry to path ("-" = stdout).
+func writeMetrics(reg *metrics.Registry, path string, asJSON bool) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	snap := reg.Snapshot()
+	if asJSON {
+		return snap.WriteJSON(w)
+	}
+	return snap.WritePrometheus(w)
 }
 
 // csvOut, when set, receives one CSV file per latency series.

@@ -7,6 +7,11 @@
 // Example:
 //
 //	tsnsim -topology ring -switches 6 -flows 1024 -hops 3 -rc 200 -be 200
+//
+// Observability: -metrics dumps the telemetry registry in Prometheus
+// text exposition (or JSON with -metrics-json), -trace-json exports
+// the per-packet trace for chrome://tracing, and -progress prints
+// live event-rate lines to stderr during long runs.
 package main
 
 import (
@@ -15,71 +20,141 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/topology"
 	"github.com/tsnbuilder/tsnbuilder/internal/trace"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
 	"github.com/tsnbuilder/tsnbuilder/testbed"
 )
 
+// runOpts bundles one simulation's parameters.
+type runOpts struct {
+	topo     string
+	switches int
+	flows    int
+	hops     int
+	size     int
+	slotUs   int
+	rcMbps   int
+	beMbps   int
+	durMs    int
+	gptp     bool
+	seed     uint64
+
+	csvPath     string
+	pcapPath    string
+	hotspots    bool
+	metricsPath string // "-" = stdout, "" = no export
+	metricsJSON bool
+	traceJSON   string
+	progress    time.Duration
+}
+
 func main() {
-	var (
-		topoKind = flag.String("topology", "ring", "topology: star, ring, linear or tree")
-		switches = flag.Int("switches", 6, "switch count (ring/linear); star children = switches-1")
-		flowN    = flag.Int("flows", 1024, "TS flow count")
-		hops     = flag.Int("hops", 3, "switches each TS flow traverses")
-		sizeB    = flag.Int("size", 64, "TS frame size (bytes)")
-		slotUs   = flag.Int("slot", 65, "CQF slot (µs)")
-		rcMbps   = flag.Int("rc", 0, "RC background per injector (Mbps)")
-		beMbps   = flag.Int("be", 0, "BE background per injector (Mbps)")
-		durMs    = flag.Int("duration", 100, "measurement window (ms)")
-		noGPTP   = flag.Bool("no-gptp", false, "run with perfect clocks instead of gPTP")
-		seed     = flag.Uint64("seed", 42, "workload seed")
-		csvPath  = flag.String("csv", "", "write per-flow statistics to this CSV file")
-		pcapPath = flag.String("pcap", "", "write delivered frames to this pcap file")
-		hotspots = flag.Bool("hotspots", false, "trace the dataplane and print the worst queue-residence cells")
-	)
+	var o runOpts
+	flag.StringVar(&o.topo, "topology", "ring", "topology: star, ring, linear or tree")
+	flag.IntVar(&o.switches, "switches", 6, "switch count (ring/linear); star children = switches-1")
+	flag.IntVar(&o.flows, "flows", 1024, "TS flow count")
+	flag.IntVar(&o.hops, "hops", 3, "switches each TS flow traverses")
+	flag.IntVar(&o.size, "size", 64, "TS frame size (bytes)")
+	flag.IntVar(&o.slotUs, "slot", 65, "CQF slot (µs)")
+	flag.IntVar(&o.rcMbps, "rc", 0, "RC background per injector (Mbps)")
+	flag.IntVar(&o.beMbps, "be", 0, "BE background per injector (Mbps)")
+	flag.IntVar(&o.durMs, "duration", 100, "measurement window (ms)")
+	noGPTP := flag.Bool("no-gptp", false, "run with perfect clocks instead of gPTP")
+	flag.Uint64Var(&o.seed, "seed", 42, "workload seed")
+	flag.StringVar(&o.csvPath, "csv", "", "write per-flow statistics to this CSV file")
+	flag.StringVar(&o.pcapPath, "pcap", "", "write delivered frames to this pcap file")
+	flag.BoolVar(&o.hotspots, "hotspots", false, "trace the dataplane and print the worst queue-residence cells")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write the metrics registry to this file ('-' for stdout)")
+	flag.BoolVar(&o.metricsJSON, "metrics-json", false, "export -metrics as JSON instead of Prometheus text")
+	flag.StringVar(&o.traceJSON, "trace-json", "", "write the packet trace as Chrome trace-event JSON to this file")
+	flag.DurationVar(&o.progress, "progress", 0, "print progress to stderr at this wall-clock interval (e.g. 2s)")
 	flag.Parse()
-	if err := runWithOutputs(*topoKind, *switches, *flowN, *hops, *sizeB, *slotUs,
-		*rcMbps, *beMbps, *durMs, !*noGPTP, *seed, *csvPath, *pcapPath, *hotspots); err != nil {
+	o.gptp = !*noGPTP
+	if err := runWithOutputs(o); err != nil {
 		fmt.Fprintln(os.Stderr, "tsnsim:", err)
 		os.Exit(1)
 	}
 }
 
-// runWithOutputs is run plus optional per-flow CSV and pcap dumps.
-func runWithOutputs(topoKind string, switches, flowN, hops, sizeB, slotUs,
-	rcMbps, beMbps, durMs int, gptpOn bool, seed uint64, csvPath, pcapPath string, hotspots bool) error {
+// runWithOutputs is run plus the optional file exports: per-flow CSV,
+// pcap, metrics (Prometheus/JSON) and Chrome trace JSON.
+func runWithOutputs(o runOpts) error {
 	var pcapOut io.Writer
-	if pcapPath != "" {
-		f, err := os.Create(pcapPath)
+	if o.pcapPath != "" {
+		f, err := os.Create(o.pcapPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		pcapOut = f
 	}
-	net, err := run(topoKind, switches, flowN, hops, sizeB, slotUs,
-		rcMbps, beMbps, durMs, gptpOn, seed, pcapOut, hotspots)
+	net, err := run(o, pcapOut)
 	if err != nil {
 		return err
 	}
-	if hotspots {
+	if o.hotspots {
 		fmt.Println("worst queue residences:")
 		for _, r := range trace.TopResidences(net.Tracer, 8) {
 			fmt.Printf("  %s\n", r)
 		}
+		if n := net.Tracer.Truncated(); n > 0 {
+			fmt.Printf("  (trace truncated: %d events beyond the %d-event limit were not recorded)\n",
+				n, net.Tracer.Limit)
+		}
 	}
 	if net.Capture != nil {
-		fmt.Printf("pcap: %d frames captured to %s\n", net.Capture.Count(), pcapPath)
+		fmt.Printf("pcap: %d frames captured to %s\n", net.Capture.Count(), o.pcapPath)
 	}
-	if csvPath == "" {
+	if o.traceJSON != "" {
+		f, err := os.Create(o.traceJSON)
+		if err != nil {
+			return err
+		}
+		if err := net.Tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d events written to %s\n", net.Tracer.Len(), o.traceJSON)
+	}
+	if o.metricsPath != "" {
+		if err := writeMetrics(net.Metrics, o.metricsPath, o.metricsJSON); err != nil {
+			return err
+		}
+	}
+	if o.csvPath == "" {
 		return nil
 	}
-	return writeCSV(net, csvPath)
+	return writeCSV(net, o.csvPath)
+}
+
+// writeMetrics dumps the registry to path ("-" = stdout) in Prometheus
+// text exposition or, with asJSON, as an indented JSON snapshot.
+func writeMetrics(reg *metrics.Registry, path string, asJSON bool) error {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	snap := reg.Snapshot()
+	if asJSON {
+		return snap.WriteJSON(w)
+	}
+	return snap.WritePrometheus(w)
 }
 
 // writeCSV dumps one row per flow for external plotting.
@@ -115,21 +190,19 @@ func writeCSV(net *testbed.Net, path string) error {
 	return w.Error()
 }
 
-func run(topoKind string, switches, flowN, hops, sizeB, slotUs,
-	rcMbps, beMbps, durMs int, gptpOn bool, seed uint64, pcapOut io.Writer, traceOn bool) (*testbed.Net, error) {
-
+func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 	var topo *topology.Topology
-	switch topoKind {
+	switch o.topo {
 	case "star":
-		topo = topology.Star(switches - 1)
+		topo = topology.Star(o.switches - 1)
 	case "ring":
-		topo = topology.Ring(switches)
+		topo = topology.Ring(o.switches)
 	case "linear":
-		topo = topology.Linear(switches)
+		topo = topology.Linear(o.switches)
 	case "tree":
-		topo = topology.Tree(2, (switches-3)/2)
+		topo = topology.Tree(2, (o.switches-3)/2)
 	default:
-		return nil, fmt.Errorf("unknown topology %q", topoKind)
+		return nil, fmt.Errorf("unknown topology %q", o.topo)
 	}
 	n := topo.N
 	for h := 0; h < n; h++ {
@@ -138,31 +211,31 @@ func run(topoKind string, switches, flowN, hops, sizeB, slotUs,
 	}
 
 	specs := flows.GenerateTS(flows.TSParams{
-		Count:    flowN,
+		Count:    o.flows,
 		Period:   10 * sim.Millisecond,
-		WireSize: sizeB,
+		WireSize: o.size,
 		VID:      1,
 		Hosts: func(i int) (int, int) {
 			src := i % n
-			return 100 + src, 100 + (src+hops-1)%n
+			return 100 + src, 100 + (src+o.hops-1)%n
 		},
-		Seed: seed,
+		Seed: o.seed,
 	})
 	for i, s := range specs {
 		s.VID = uint16(1 + i%4000)
 	}
 	id := uint32(100_000)
 	for srcIdx := 0; srcIdx < 3 && srcIdx < n; srcIdx++ {
-		if rcMbps > 0 {
+		if o.rcMbps > 0 {
 			specs = append(specs, flows.Background(id, ethernet.ClassRC,
-				200+srcIdx, 100+(srcIdx+hops-1)%n, uint16(3000+srcIdx),
-				ethernet.Rate(rcMbps)*ethernet.Mbps))
+				200+srcIdx, 100+(srcIdx+o.hops-1)%n, uint16(3000+srcIdx),
+				ethernet.Rate(o.rcMbps)*ethernet.Mbps))
 			id++
 		}
-		if beMbps > 0 {
+		if o.beMbps > 0 {
 			specs = append(specs, flows.Background(id, ethernet.ClassBE,
-				200+srcIdx, 100+(srcIdx+hops-1)%n, uint16(3200+srcIdx),
-				ethernet.Rate(beMbps)*ethernet.Mbps))
+				200+srcIdx, 100+(srcIdx+o.hops-1)%n, uint16(3200+srcIdx),
+				ethernet.Rate(o.beMbps)*ethernet.Mbps))
 			id++
 		}
 	}
@@ -171,7 +244,7 @@ func run(topoKind string, switches, flowN, hops, sizeB, slotUs,
 	}
 	der, err := core.DeriveConfig(core.Scenario{
 		Topo: topo, Flows: specs,
-		SlotSize: sim.Time(slotUs) * sim.Microsecond,
+		SlotSize: sim.Time(o.slotUs) * sim.Microsecond,
 	})
 	if err != nil {
 		return nil, err
@@ -181,21 +254,42 @@ func run(topoKind string, switches, flowN, hops, sizeB, slotUs,
 	if err != nil {
 		return nil, err
 	}
+	// The registry is always built: the exit summary reads it even when
+	// no export flag is set, and instrumented forwarding costs ~nothing.
+	reg := metrics.New()
 	net, err := testbed.Build(testbed.Options{
 		Design: design, Topo: topo, Flows: specs,
-		EnableGPTP: gptpOn, Seed: seed, Pcap: pcapOut,
-		EnableTrace: traceOn,
+		EnableGPTP: o.gptp, Seed: o.seed, Pcap: pcapOut,
+		EnableTrace: o.hotspots || o.traceJSON != "",
+		Metrics:     reg,
 	})
 	if err != nil {
 		return nil, err
 	}
+	if o.progress > 0 {
+		last := time.Now()
+		var lastExec uint64
+		// Check wall time every 64k events: cheap against µs-scale
+		// event costs, responsive against second-scale intervals.
+		net.Engine.SetProgress(1<<16, func(executed uint64, now sim.Time) {
+			if time.Since(last) < o.progress {
+				return
+			}
+			rate := float64(executed-lastExec) / time.Since(last).Seconds()
+			fmt.Fprintf(os.Stderr, "progress: sim=%v events=%d (%.0f ev/s)\n", now, executed, rate)
+			last = time.Now()
+			lastExec = executed
+		})
+	}
 	warmup := sim.Time(0)
-	if gptpOn {
+	if o.gptp {
 		warmup = 2 * sim.Second
 	}
 	fmt.Printf("running %s/%d: %d TS flows (%dB, %d hops), rc=%dMbps be=%dMbps, slot=%dµs, gptp=%v\n",
-		topoKind, n, flowN, sizeB, hops, rcMbps, beMbps, slotUs, gptpOn)
-	net.Run(warmup, sim.Time(durMs)*sim.Millisecond)
+		o.topo, n, o.flows, o.size, o.hops, o.rcMbps, o.beMbps, o.slotUs, o.gptp)
+	wallStart := time.Now()
+	net.Run(warmup, sim.Time(o.durMs)*sim.Millisecond)
+	wall := time.Since(wallStart)
 
 	for _, cls := range []ethernet.Class{ethernet.ClassTS, ethernet.ClassRC, ethernet.ClassBE} {
 		s := net.Summary(cls)
@@ -218,5 +312,28 @@ func run(topoKind string, switches, flowN, hops, sizeB, slotUs,
 	if net.Domain != nil {
 		fmt.Printf("gPTP precision at end: %v\n", net.Domain.MaxAbsOffset())
 	}
+	printSummary(reg, wall)
 	return net, nil
+}
+
+// printSummary renders the exit summary line from the telemetry
+// registry — delivered frames, drops by reason, and the simulator's
+// event throughput over the measured wall time.
+func printSummary(reg *metrics.Registry, wall time.Duration) {
+	delivered := reg.SumCounter("tsn_flows_delivered_total")
+	drops := reg.SumCounter(tsnswitch.MetricDrops)
+	line := fmt.Sprintf("summary: delivered=%d drops=%d", delivered, drops)
+	if drops > 0 {
+		for _, r := range tsnswitch.DropReasons() {
+			if v := reg.SumCounter(tsnswitch.MetricDrops, metrics.L("reason", r.String())); v > 0 {
+				line += fmt.Sprintf(" %s=%d", r, v)
+			}
+		}
+	}
+	events := reg.CounterValue("tsn_sim_events_total")
+	line += fmt.Sprintf(" events=%d", events)
+	if secs := wall.Seconds(); secs > 0 {
+		line += fmt.Sprintf(" (%.0f ev/s)", float64(events)/secs)
+	}
+	fmt.Println(line)
 }

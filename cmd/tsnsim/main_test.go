@@ -1,14 +1,25 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// baseOpts returns a small, fast scenario; tests override fields.
+func baseOpts() runOpts {
+	return runOpts{
+		topo: "ring", switches: 6, flows: 16, hops: 2,
+		size: 64, slotUs: 65, durMs: 20, gptp: false, seed: 1,
+	}
+}
+
 func TestRunRingSmall(t *testing.T) {
-	if _, err := run("ring", 6, 32, 2, 64, 65, 50, 50, 20, false, 1, nil, false); err != nil {
+	o := baseOpts()
+	o.flows, o.rcMbps, o.beMbps = 32, 50, 50
+	if _, err := run(o, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -17,29 +28,36 @@ func TestRunStarWithGPTP(t *testing.T) {
 	if testing.Short() {
 		t.Skip("gPTP warmup is seconds of simulated time")
 	}
-	if _, err := run("star", 4, 16, 2, 64, 65, 0, 0, 20, true, 1, nil, false); err != nil {
+	o := baseOpts()
+	o.topo, o.switches, o.gptp = "star", 4, true
+	if _, err := run(o, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLinear(t *testing.T) {
-	if _, err := run("linear", 4, 16, 3, 128, 65, 0, 20, 20, false, 1, nil, false); err != nil {
+	o := baseOpts()
+	o.topo, o.switches, o.hops, o.size, o.beMbps = "linear", 4, 3, 128, 20
+	if _, err := run(o, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownTopology(t *testing.T) {
-	if _, err := run("mesh", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, nil, false); err == nil {
+	o := baseOpts()
+	o.topo = "mesh"
+	if _, err := run(o, nil); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
 
 func TestCSVOutput(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "flows.csv")
-	if err := runWithOutputs("ring", 6, 16, 2, 64, 65, 0, 0, 20, false, 1, path, "", false); err != nil {
+	o := baseOpts()
+	o.csvPath = filepath.Join(t.TempDir(), "flows.csv")
+	if err := runWithOutputs(o); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(o.csvPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +74,14 @@ func TestCSVOutput(t *testing.T) {
 }
 
 func TestPcapOutput(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "run.pcap")
-	if err := runWithOutputs("ring", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, "", path, false); err != nil {
+	o := baseOpts()
+	o.flows = 8
+	o.durMs = 10
+	o.pcapPath = filepath.Join(t.TempDir(), "run.pcap")
+	if err := runWithOutputs(o); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(o.pcapPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,19 +95,114 @@ func TestPcapOutput(t *testing.T) {
 }
 
 func TestPcapBadPath(t *testing.T) {
-	if err := runWithOutputs("ring", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, "", "/nonexistent/x.pcap", false); err == nil {
+	o := baseOpts()
+	o.pcapPath = "/nonexistent/x.pcap"
+	if err := runWithOutputs(o); err == nil {
 		t.Fatal("bad pcap path accepted")
 	}
 }
 
 func TestHotspots(t *testing.T) {
-	if err := runWithOutputs("ring", 6, 16, 3, 64, 65, 0, 0, 20, false, 1, "", "", true); err != nil {
+	o := baseOpts()
+	o.hops = 3
+	o.hotspots = true
+	if err := runWithOutputs(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCSVBadPath(t *testing.T) {
-	if err := runWithOutputs("ring", 6, 8, 2, 64, 65, 0, 0, 10, false, 1, "/nonexistent/dir/x.csv", "", false); err == nil {
+	o := baseOpts()
+	o.csvPath = "/nonexistent/dir/x.csv"
+	if err := runWithOutputs(o); err == nil {
 		t.Fatal("bad CSV path accepted")
+	}
+}
+
+func TestMetricsPrometheusOutput(t *testing.T) {
+	o := baseOpts()
+	o.metricsPath = filepath.Join(t.TempDir(), "run.prom")
+	if err := runWithOutputs(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"# TYPE tsn_switch_rx_frames_total counter",
+		`tsn_switch_rx_frames_total{switch="0"}`,
+		"# TYPE tsn_e2e_latency_ns histogram",
+		`le="+Inf"`,
+		"tsn_sim_events_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every line must be a comment or `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestMetricsJSONOutput(t *testing.T) {
+	o := baseOpts()
+	o.metricsPath = filepath.Join(t.TempDir(), "run.json")
+	o.metricsJSON = true
+	if err := runWithOutputs(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Families []struct {
+			Name string `json:"name"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(snap.Families) == 0 {
+		t.Fatal("no metric families exported")
+	}
+}
+
+func TestTraceJSONOutput(t *testing.T) {
+	o := baseOpts()
+	o.flows = 8
+	o.durMs = 10
+	o.traceJSON = filepath.Join(t.TempDir(), "trace.json")
+	if err := runWithOutputs(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.traceJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(got.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+}
+
+func TestMetricsBadPath(t *testing.T) {
+	o := baseOpts()
+	o.metricsPath = "/nonexistent/dir/x.prom"
+	if err := runWithOutputs(o); err == nil {
+		t.Fatal("bad metrics path accepted")
 	}
 }

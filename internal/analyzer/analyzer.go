@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -109,6 +110,11 @@ func (c *classSamples) quantile(q float64) sim.Time {
 type Collector struct {
 	perFlow  map[uint32]*FlowStats
 	perClass map[ethernet.Class]*classSamples
+
+	// Telemetry handles, indexed by traffic class (BE/RC/TS); zero
+	// values are no-ops.
+	metDelivered [3]metrics.Counter
+	metLatency   [3]metrics.Histogram
 }
 
 // NewCollector returns an empty collector.
@@ -116,6 +122,23 @@ func NewCollector() *Collector {
 	return &Collector{
 		perFlow:  make(map[uint32]*FlowStats),
 		perClass: make(map[ethernet.Class]*classSamples),
+	}
+}
+
+// LatencyBounds is the end-to-end latency bucket layout: 1 µs to
+// ~8 ms in quarter-decade-ish steps, in nanoseconds.
+var LatencyBounds = metrics.ExponentialBounds(1000, 2, 14)
+
+// Instrument resolves the collector's per-class telemetry from reg: a
+// delivered-frames counter and an end-to-end latency histogram for
+// each traffic class. A nil registry is a no-op.
+func (c *Collector) Instrument(reg *metrics.Registry) {
+	reg.Help("tsn_flows_delivered_total", "frames delivered to end stations")
+	reg.Help("tsn_e2e_latency_ns", "end-to-end frame latency, nanoseconds")
+	for _, cls := range []ethernet.Class{ethernet.ClassBE, ethernet.ClassRC, ethernet.ClassTS} {
+		l := metrics.L("class", cls.String())
+		c.metDelivered[cls] = reg.Counter("tsn_flows_delivered_total", l)
+		c.metLatency[cls] = reg.Histogram("tsn_e2e_latency_ns", LatencyBounds, l)
 	}
 }
 
@@ -150,6 +173,10 @@ func (c *Collector) Record(f *ethernet.Frame, arrival sim.Time) {
 		lat = 0
 	}
 	st.Received++
+	if f.Class < ethernet.Class(len(c.metDelivered)) {
+		c.metDelivered[f.Class].Inc()
+		c.metLatency[f.Class].Observe(int64(lat))
+	}
 	st.sumLat += float64(lat)
 	st.sumLatSq += float64(lat) * float64(lat)
 	if lat < st.MinLat {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -39,6 +40,11 @@ type Pool struct {
 	// allocFail counts allocation failures (drops due to buffer
 	// exhaustion).
 	allocFail uint64
+
+	// Telemetry handles; zero values are no-ops.
+	metOcc  metrics.Gauge
+	metHW   metrics.Gauge
+	metFail metrics.Counter
 }
 
 // NewPool returns a pool of capacity slots.
@@ -51,6 +57,15 @@ func NewPool(capacity int) *Pool {
 		p.free[i] = capacity - 1 - i // pop order 0,1,2,...
 	}
 	return p
+}
+
+// Instrument binds the pool's telemetry: occupancy follows InUse,
+// highWater follows the worst occupancy, allocFail counts failed
+// allocations. Call once at construction time.
+func (p *Pool) Instrument(occupancy, highWater metrics.Gauge, allocFail metrics.Counter) {
+	p.metOcc = occupancy
+	p.metHW = highWater
+	p.metFail = allocFail
 }
 
 // Capacity returns the configured number of slots.
@@ -71,10 +86,12 @@ func (p *Pool) AllocFailures() uint64 { return p.allocFail }
 func (p *Pool) Alloc(wireBytes int) (slot int, ok bool) {
 	if wireBytes > SlotBytes {
 		p.allocFail++
+		p.metFail.Inc()
 		return -1, false
 	}
 	if len(p.free) == 0 {
 		p.allocFail++
+		p.metFail.Inc()
 		return -1, false
 	}
 	slot = p.free[len(p.free)-1]
@@ -83,6 +100,8 @@ func (p *Pool) Alloc(wireBytes int) (slot int, ok bool) {
 	if p.inUse > p.highWater {
 		p.highWater = p.inUse
 	}
+	p.metOcc.Set(int64(p.inUse))
+	p.metHW.SetMax(int64(p.inUse))
 	return slot, true
 }
 
@@ -98,6 +117,7 @@ func (p *Pool) Free(slot int) {
 	}
 	p.free = append(p.free, slot)
 	p.inUse--
+	p.metOcc.Set(int64(p.inUse))
 }
 
 // Queue is a fixed-depth FIFO of descriptors: the hardware per-queue
@@ -111,6 +131,10 @@ type Queue struct {
 	highWater int
 	// rejects counts failed pushes (queue-full drops).
 	rejects uint64
+
+	// metHW mirrors highWater into the telemetry registry; the zero
+	// value is a no-op.
+	metHW metrics.Gauge
 }
 
 // NewQueue returns a queue holding at most depth descriptors.
@@ -120,6 +144,9 @@ func NewQueue(depth int) *Queue {
 	}
 	return &Queue{depth: depth, ring: make([]Descriptor, depth)}
 }
+
+// Instrument binds the queue's depth high-water gauge.
+func (q *Queue) Instrument(highWater metrics.Gauge) { q.metHW = highWater }
 
 // Depth returns the configured capacity.
 func (q *Queue) Depth() int { return q.depth }
@@ -143,6 +170,7 @@ func (q *Queue) Push(d Descriptor) bool {
 	q.count++
 	if q.count > q.highWater {
 		q.highWater = q.count
+		q.metHW.Set(int64(q.count))
 	}
 	return true
 }

@@ -12,6 +12,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/topology"
 	"github.com/tsnbuilder/tsnbuilder/testbed"
@@ -74,6 +75,9 @@ type Params struct {
 	Duration sim.Time
 	// Seed drives workload randomization.
 	Seed uint64
+	// Metrics, when non-nil, instruments every built network into this
+	// registry (cmd/tsnbench -metrics).
+	Metrics *metrics.Registry
 }
 
 // DefaultParams reproduces the paper's workload scale.
@@ -192,6 +196,7 @@ func buildRing(bs benchSpec) (*ringBench, error) {
 		Flows:      specs,
 		EnableGPTP: bs.gptp,
 		Seed:       bs.p.Seed,
+		Metrics:    bs.p.Metrics,
 	})
 	if err != nil {
 		return nil, err

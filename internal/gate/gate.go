@@ -13,6 +13,7 @@ package gate
 import (
 	"fmt"
 
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -36,6 +37,10 @@ type GCL struct {
 	entries []Mask
 	// base aligns slot 0; local gate time is measured from it.
 	base sim.Time
+	// roll, when bound, counts slot rollovers observed by StateAt;
+	// lastSlot is the last slot index seen.
+	roll     metrics.Counter
+	lastSlot int64
 }
 
 // NewGCL builds a GCL with the given slot size and entries. The entry
@@ -78,8 +83,26 @@ func (g *GCL) index(t sim.Time) int {
 	return int(rel/g.slot) % len(g.entries)
 }
 
+// SetRolloverCounter binds a counter that tallies slot rollovers as
+// the schedule is evaluated. Only forward progress counts: a clock
+// step backwards re-anchors without decrementing.
+func (g *GCL) SetRolloverCounter(c metrics.Counter) { g.roll = c }
+
+// observeRollover advances the rollover counter to slot s.
+func (g *GCL) observeRollover(s int64) {
+	if s > g.lastSlot {
+		g.roll.Add(uint64(s - g.lastSlot))
+	}
+	g.lastSlot = s
+}
+
 // StateAt returns the gate mask in effect at local time t.
-func (g *GCL) StateAt(t sim.Time) Mask { return g.entries[g.index(t)] }
+func (g *GCL) StateAt(t sim.Time) Mask {
+	if g.roll.Active() {
+		g.observeRollover(g.SlotIndex(t))
+	}
+	return g.entries[g.index(t)]
+}
 
 // SlotIndex returns the absolute slot number containing local time t.
 func (g *GCL) SlotIndex(t sim.Time) int64 {

@@ -3,6 +3,7 @@ package gate
 import (
 	"fmt"
 
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -45,6 +46,11 @@ type VarGCL struct {
 	starts []sim.Time
 	cycle  sim.Time
 	base   sim.Time
+	// roll, when bound, counts entry rollovers observed by StateAt;
+	// lastEpoch is cycleCount*len(entries)+entryIndex at the last
+	// evaluation.
+	roll      metrics.Counter
+	lastEpoch int64
 }
 
 // NewVarGCL builds a variable-duration GCL. Durations must be positive.
@@ -97,9 +103,27 @@ func (g *VarGCL) index(p sim.Time) int {
 	return lo
 }
 
+// SetRolloverCounter binds a counter that tallies gate-entry
+// rollovers as the schedule is evaluated. Only forward progress
+// counts.
+func (g *VarGCL) SetRolloverCounter(c metrics.Counter) { g.roll = c }
+
 // StateAt implements Schedule.
 func (g *VarGCL) StateAt(t sim.Time) Mask {
-	return g.entries[g.index(g.phase(t))].Mask
+	p := g.phase(t)
+	i := g.index(p)
+	if g.roll.Active() {
+		cycles := (t - g.base) / g.cycle
+		if t < g.base && (t-g.base)%g.cycle != 0 {
+			cycles--
+		}
+		epoch := int64(cycles)*int64(len(g.entries)) + int64(i)
+		if epoch > g.lastEpoch {
+			g.roll.Add(uint64(epoch - g.lastEpoch))
+		}
+		g.lastEpoch = epoch
+	}
+	return g.entries[i].Mask
 }
 
 // NextBoundary implements Schedule.

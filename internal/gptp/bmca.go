@@ -108,7 +108,9 @@ func (d *Domain) assume(gm *Node) error {
 	if !gm.alive {
 		return fmt.Errorf("gptp: grandmaster %d is dead", gm.ID)
 	}
+	prev := make(map[*Node]*Port, len(d.nodes))
 	for _, n := range d.nodes {
+		prev[n] = n.upstream
 		n.upstream = nil
 	}
 	visited := map[*Node]bool{gm: true}
@@ -132,6 +134,11 @@ func (d *Domain) assume(gm *Node) error {
 		}
 	}
 	d.gm = gm
+	for _, n := range d.nodes {
+		if n.upstream != prev[n] {
+			d.metRoleChanges.Inc()
+		}
+	}
 	return nil
 }
 

@@ -16,8 +16,11 @@
 package gptp
 
 import (
+	"fmt"
+
 	"github.com/tsnbuilder/tsnbuilder/internal/clock"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -83,6 +86,11 @@ type Node struct {
 	lastCorrAt sim.Time
 	announceTx uint64
 	announceRx uint64
+
+	// Telemetry handles; zero values are no-ops.
+	metOffset metrics.Gauge
+	metSyncs  metrics.Counter
+	metSteps  metrics.Counter
 }
 
 // Port is one gPTP-capable port of a node.
@@ -127,6 +135,10 @@ type Domain struct {
 	nodes  []*Node
 	gm     *Node
 	seed   uint64
+
+	// metRoleChanges counts sync-tree rebuilds that moved a node's
+	// upstream port (BMCA re-elections, failovers, initial build).
+	metRoleChanges metrics.Counter
 }
 
 // NewDomain creates an empty domain running on engine.
@@ -150,6 +162,24 @@ func (d *Domain) AddNode(id int, drift clock.PPB, initialOffset sim.Time) *Node 
 	}
 	d.nodes = append(d.nodes, n)
 	return n
+}
+
+// Instrument resolves per-node telemetry handles from reg: a signed
+// offset-from-upstream gauge (ns), sync and phase-step counters per
+// node, and a domain-wide BMCA role-change counter. Call after every
+// AddNode; a nil registry is a no-op.
+func (d *Domain) Instrument(reg *metrics.Registry) {
+	reg.Help("tsn_gptp_offset_ns", "last sync offset sample from the upstream clock, nanoseconds")
+	reg.Help("tsn_gptp_syncs_total", "sync corrections applied")
+	reg.Help("tsn_gptp_steps_total", "phase steps (gross corrections) applied")
+	reg.Help("tsn_gptp_role_changes_total", "sync-tree rebuilds that changed some node's upstream port")
+	for _, n := range d.nodes {
+		node := metrics.L("node", fmt.Sprint(n.ID))
+		n.metOffset = reg.Gauge("tsn_gptp_offset_ns", node)
+		n.metSyncs = reg.Counter("tsn_gptp_syncs_total", node)
+		n.metSteps = reg.Counter("tsn_gptp_steps_total", node)
+	}
+	d.metRoleChanges = reg.Counter("tsn_gptp_role_changes_total")
 }
 
 // srcMAC derives the node's protocol source address.
@@ -317,6 +347,8 @@ func (n *Node) applysync(e *sim.Engine, t1, t2 sim.Time, p *Port) {
 	// offset = slaveTime - masterTimeAtArrival.
 	offset := t2 - (t1 + p.measuredDelay)
 	n.syncCount++
+	n.metSyncs.Inc()
+	n.metOffset.Set(int64(offset))
 	prevCorr := n.lastCorrAt
 	n.lastCorrAt = now
 
@@ -325,6 +357,7 @@ func (n *Node) applysync(e *sim.Engine, t1, t2 sim.Time, p *Port) {
 		n.Clock.Step(now, -offset)
 		n.synced = true
 		n.stepCount++
+		n.metSteps.Inc()
 		n.lastOffset = 0
 		return
 	}
@@ -342,6 +375,7 @@ func (n *Node) applysync(e *sim.Engine, t1, t2 sim.Time, p *Port) {
 	n.Clock.Step(now, -offset)
 	if offset > d.cfg.StepThreshold || offset < -d.cfg.StepThreshold {
 		n.stepCount++
+		n.metSteps.Inc()
 	}
 	n.lastOffset = offset
 }

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -81,6 +82,10 @@ func (m *Meter) Stats() (uint64, uint64) { return m.passed, m.dropped }
 type Table struct {
 	meters []Meter
 	inUse  []bool
+	// Telemetry: mark/drop decisions aggregated across the table;
+	// zero values are no-ops.
+	metPassed  metrics.Counter
+	metDropped metrics.Counter
 }
 
 // NewTable returns a meter table with the given capacity.
@@ -89,6 +94,13 @@ func NewTable(capacity int) *Table {
 		panic("meter: negative capacity")
 	}
 	return &Table{meters: make([]Meter, capacity), inUse: make([]bool, capacity)}
+}
+
+// Instrument binds the table's mark/drop decision counters,
+// aggregated across all meters.
+func (t *Table) Instrument(passed, dropped metrics.Counter) {
+	t.metPassed = passed
+	t.metDropped = dropped
 }
 
 // Capacity returns the number of meter slots.
@@ -110,7 +122,13 @@ func (t *Table) Conform(id int, now sim.Time, wireBytes int) bool {
 	if id < 0 || id >= len(t.meters) || !t.inUse[id] {
 		return true
 	}
-	return t.meters[id].Conform(now, wireBytes)
+	ok := t.meters[id].Conform(now, wireBytes)
+	if ok {
+		t.metPassed.Inc()
+	} else {
+		t.metDropped.Inc()
+	}
+	return ok
 }
 
 // Get returns meter id for inspection, or nil if unconfigured.

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of every instrument, safe to
+// export while the simulation continues.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric name's samples.
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    Kind             `json:"kind"`
+	Samples []SampleSnapshot `json:"samples"`
+}
+
+// SampleSnapshot is one labeled cell. Counters and gauges use Value;
+// histograms use Bounds/Counts/Sum/Count.
+type SampleSnapshot struct {
+	Labels []Label  `json:"labels,omitempty"`
+	Value  float64  `json:"value"`
+	Bounds []int64  `json:"bounds,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+	Sum    float64  `json:"sum,omitempty"`
+	Count  uint64   `json:"count,omitempty"`
+}
+
+// Quantile estimates the q-quantile of a histogram sample (0 for
+// other kinds).
+func (s SampleSnapshot) Quantile(q float64) float64 {
+	return quantile(s.Bounds, s.Counts, s.Count, q)
+}
+
+// Snapshot copies the registry's current state. Families appear in
+// registration order, samples in registration order, so exports are
+// deterministic. A nil registry snapshots empty.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var snap Snapshot
+	for _, f := range r.families {
+		if f.kind == "" {
+			continue // Help() registered a name never instrumented
+		}
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind}
+		for _, s := range f.samples {
+			ss := SampleSnapshot{Labels: append([]Label(nil), s.labels...)}
+			switch f.kind {
+			case KindCounter:
+				ss.Value = float64(*s.c)
+			case KindGauge:
+				ss.Value = float64(*s.g)
+			case KindHistogram:
+				ss.Bounds = append([]int64(nil), s.h.bounds...)
+				ss.Counts = append([]uint64(nil), s.h.counts...)
+				ss.Sum = s.h.sum
+				ss.Count = s.h.count
+			}
+			fs.Samples = append(fs.Samples, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatLabels renders {k="v",...}, optionally with an extra trailing
+// label (the histogram le).
+func formatLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value without exponent notation for
+// integers (the common case), matching conventional expositions.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text
+// exposition format (version 0.0.4).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, smp := range f.Samples {
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					f.Name, formatLabels(smp.Labels, "", ""), formatValue(smp.Value)); err != nil {
+					return err
+				}
+			case KindHistogram:
+				var cum uint64
+				for i, c := range smp.Counts {
+					cum += c
+					le := "+Inf"
+					if i < len(smp.Bounds) {
+						le = fmt.Sprintf("%d", smp.Bounds[i])
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.Name, formatLabels(smp.Labels, "le", le), cum); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+					f.Name, formatLabels(smp.Labels, "", ""), formatValue(smp.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n",
+					f.Name, formatLabels(smp.Labels, "", ""), smp.Count); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

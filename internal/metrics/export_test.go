@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func buildRegistry() *Registry {
+	r := New()
+	r.Help("tsn_switch_rx_frames_total", "frames received by the ingress pipeline")
+	r.Counter("tsn_switch_rx_frames_total", L("switch", "0")).Add(10)
+	r.Counter("tsn_switch_rx_frames_total", L("switch", "1")).Add(20)
+	r.Gauge("tsn_pool_occupancy", L("switch", "0"), L("port", "2")).Set(7)
+	h := r.Histogram("tsn_residence_ns", []int64{1000, 10000}, L("switch", "0"))
+	h.Observe(500)
+	h.Observe(5000)
+	h.Observe(50000)
+	return r
+}
+
+// parsePrometheus is a minimal text-exposition parser: it validates
+// the line grammar this package emits and returns metric→value
+// entries keyed by "name{labels}".
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	types := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, parts[1])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			name = key[:i]
+			body := key[i+1 : len(key)-1]
+			for _, pair := range strings.Split(body, ",") {
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 || !strings.HasPrefix(kv[1], `"`) || !strings.HasSuffix(kv[1], `"`) {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := types[name]; !ok {
+			if _, ok := types[base]; !ok {
+				t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+			}
+		}
+		out[key] = val
+	}
+	return out
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples := parsePrometheus(t, text)
+
+	if v := samples[`tsn_switch_rx_frames_total{switch="0"}`]; v != 10 {
+		t.Fatalf("rx switch 0 = %g, want 10 in:\n%s", v, text)
+	}
+	if v := samples[`tsn_pool_occupancy{port="2",switch="0"}`]; v != 7 {
+		t.Fatalf("occupancy = %g in:\n%s", v, text)
+	}
+	// Histogram exposition: cumulative buckets, sum, count.
+	if v := samples[`tsn_residence_ns_bucket{switch="0",le="1000"}`]; v != 1 {
+		t.Fatalf("le=1000 bucket = %g in:\n%s", v, text)
+	}
+	if v := samples[`tsn_residence_ns_bucket{switch="0",le="10000"}`]; v != 2 {
+		t.Fatalf("le=10000 bucket = %g", v)
+	}
+	if v := samples[`tsn_residence_ns_bucket{switch="0",le="+Inf"}`]; v != 3 {
+		t.Fatalf("le=+Inf bucket = %g", v)
+	}
+	if v := samples[`tsn_residence_ns_count{switch="0"}`]; v != 3 {
+		t.Fatalf("count = %g", v)
+	}
+	if v := samples[`tsn_residence_ns_sum{switch="0"}`]; v != 55500 {
+		t.Fatalf("sum = %g", v)
+	}
+	if !strings.Contains(text, "# HELP tsn_switch_rx_frames_total frames received") {
+		t.Fatalf("missing HELP line in:\n%s", text)
+	}
+}
+
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("weird", L("detail", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `weird{detail="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	snap := buildRegistry().Snapshot()
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(got.Families) != len(snap.Families) {
+		t.Fatalf("families = %d, want %d", len(got.Families), len(snap.Families))
+	}
+	for i, f := range got.Families {
+		if f.Name != snap.Families[i].Name || f.Kind != snap.Families[i].Kind {
+			t.Fatalf("family %d mismatch: %+v vs %+v", i, f, snap.Families[i])
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	snap := r.Snapshot()
+	c.Add(100)
+	if snap.Families[0].Samples[0].Value != 1 {
+		t.Fatal("snapshot shares state with live registry")
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	mk := func() string {
+		r := New()
+		for i := 0; i < 5; i++ {
+			r.Counter("a", L("i", fmt.Sprint(i))).Inc()
+			r.Gauge("b", L("i", fmt.Sprint(i))).Set(int64(i))
+		}
+		var buf bytes.Buffer
+		if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if mk() != mk() {
+		t.Fatal("exposition not deterministic")
+	}
+}
+
+func TestSampleQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []int64{10, 20, 40})
+	for i := 0; i < 100; i++ {
+		h.Observe(15)
+	}
+	smp := r.Snapshot().Families[0].Samples[0]
+	q := smp.Quantile(0.5)
+	if q <= 10 || q > 20 {
+		t.Fatalf("snapshot q50 = %g, want in (10,20]", q)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -29,6 +30,9 @@ type CBS struct {
 	portRate  ethernet.Rate
 	credit    int64 // bits
 	last      sim.Time
+	// stalls, when bound, counts eligibility checks that failed on
+	// negative credit — the shaper actively holding the queue back.
+	stalls metrics.Counter
 }
 
 // Configure initializes the shaper. idleSlope is the reserved
@@ -58,11 +62,18 @@ func (c *CBS) accrue(now sim.Time) {
 	c.last = now
 }
 
+// Instrument binds the shaper's credit-stall counter.
+func (c *CBS) Instrument(stalls metrics.Counter) { c.stalls = stalls }
+
 // Eligible reports whether the shaped queue may start a transmission at
 // instant now (credit ≥ 0 after idle accrual).
 func (c *CBS) Eligible(now sim.Time) bool {
 	c.accrue(now)
-	return c.credit >= 0
+	if c.credit < 0 {
+		c.stalls.Inc()
+		return false
+	}
+	return true
 }
 
 // OnSend charges a transmission that starts at now and occupies the

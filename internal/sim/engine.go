@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 )
 
 // Handler is a callback executed when an event fires. It receives the
@@ -74,11 +76,40 @@ type Engine struct {
 	// Executed counts events run since construction; useful for
 	// progress accounting in benchmarks.
 	executed uint64
+
+	// Telemetry handles; zero values are no-ops.
+	metExecuted metrics.Counter
+	metHeapHW   metrics.Gauge
+	// Progress hook: fire progressFn every progressEvery events.
+	progressEvery uint64
+	progressLeft  uint64
+	progressFn    func(executed uint64, now Time)
 }
 
 // NewEngine returns an engine positioned at time zero.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Instrument binds the engine's telemetry: executed counts every
+// dispatched event, heapHW tracks the worst pending-event heap depth.
+// Call once, before Run; passing a nil registry's handles is safe.
+func (e *Engine) Instrument(executed metrics.Counter, heapHW metrics.Gauge) {
+	e.metExecuted = executed
+	e.metHeapHW = heapHW
+}
+
+// SetProgress arranges for fn to be called every `every` dispatched
+// events — the hook wall-clock progress reporters build on. A zero
+// every or nil fn disables the hook.
+func (e *Engine) SetProgress(every uint64, fn func(executed uint64, now Time)) {
+	if every == 0 || fn == nil {
+		e.progressEvery, e.progressFn = 0, nil
+		return
+	}
+	e.progressEvery = every
+	e.progressLeft = every
+	e.progressFn = fn
 }
 
 // Now returns the current simulated time. During an event callback this
@@ -100,6 +131,7 @@ func (e *Engine) At(at Time, label string, fn Handler) EventRef {
 	ev := &event{at: at, seq: e.nextSeq, fn: fn, label: label}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	e.metHeapHW.SetMax(int64(len(e.queue)))
 	return EventRef{ev: ev}
 }
 
@@ -134,6 +166,14 @@ func (e *Engine) step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.executed++
+	e.metExecuted.Inc()
+	if e.progressFn != nil {
+		e.progressLeft--
+		if e.progressLeft == 0 {
+			e.progressLeft = e.progressEvery
+			e.progressFn(e.executed, e.now)
+		}
+	}
 	ev.fn(e)
 	return true
 }

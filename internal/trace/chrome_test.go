@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeCountMatchesLen(t *testing.T) {
+	var r Recorder
+	r.Record(Event{At: 1500, Kind: KindIngress, Switch: 0, Port: -1, Queue: -1, FlowID: 1, Seq: 1})
+	r.Record(Event{At: 2500, Kind: KindEnqueue, Switch: 0, Port: 1, Queue: 7, FlowID: 1, Seq: 1})
+	r.Record(Event{At: 3500, Kind: KindDrop, Switch: 1, Port: 2, Queue: 3, FlowID: 2, Seq: 9, Detail: "queue-full"})
+
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			PID   int     `json:"pid"`
+			TID   int     `json:"tid"`
+			Args  struct {
+				Flow   uint32 `json:"flow"`
+				Detail string `json:"detail"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(got.TraceEvents) != r.Len() {
+		t.Fatalf("traceEvents = %d, want Len() = %d", len(got.TraceEvents), r.Len())
+	}
+	ev := got.TraceEvents[2]
+	if ev.Name != "drop" || ev.Phase != "i" || ev.PID != 1 || ev.TID != 2 {
+		t.Fatalf("drop event = %+v", ev)
+	}
+	if ev.TS != 3.5 { // 3500 ns = 3.5 µs
+		t.Fatalf("ts = %v µs, want 3.5", ev.TS)
+	}
+	if ev.Args.Flow != 2 || ev.Args.Detail != "queue-full" {
+		t.Fatalf("args = %+v", ev.Args)
+	}
+}
+
+func TestWriteChromeNilAndEmpty(t *testing.T) {
+	for _, r := range []*Recorder{nil, {}} {
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var got map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+			t.Fatalf("invalid JSON: %v", err)
+		}
+		if n := len(got["traceEvents"].([]any)); n != 0 {
+			t.Fatalf("traceEvents = %d, want 0", n)
+		}
+	}
+}
+
+func TestLimitByPacketConsistency(t *testing.T) {
+	r := Recorder{Limit: 3}
+	// Two events of packet (1,1) stored, then the limit cuts off the
+	// third and everything of packet (2,2).
+	r.Record(Event{At: 1, Kind: KindIngress, FlowID: 1, Seq: 1})
+	r.Record(Event{At: 2, Kind: KindEnqueue, FlowID: 1, Seq: 1})
+	r.Record(Event{At: 3, Kind: KindIngress, FlowID: 2, Seq: 2})
+	r.Record(Event{At: 4, Kind: KindTxStart, FlowID: 1, Seq: 1})
+	r.Record(Event{At: 5, Kind: KindEnqueue, FlowID: 2, Seq: 2})
+
+	if r.Len() != 3 || r.Truncated() != 2 {
+		t.Fatalf("Len = %d, Truncated = %d", r.Len(), r.Truncated())
+	}
+	// byPacket only indexes stored events, in record order.
+	p1 := r.Packet(1, 1)
+	if len(p1) != 2 || p1[0].Kind != KindIngress || p1[1].Kind != KindEnqueue {
+		t.Fatalf("packet(1,1) = %+v", p1)
+	}
+	if p2 := r.Packet(2, 2); len(p2) != 1 || p2[0].At != 3 {
+		t.Fatalf("packet(2,2) = %+v", p2)
+	}
+	// Filter and export stay consistent with the stored view.
+	if got := r.Filter(KindEnqueue); len(got) != 1 {
+		t.Fatalf("enqueue events = %d", len(got))
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRecorderChromeSafe(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("nil recorder wrote nothing")
+	}
+}
+
+func TestFilterPreallocated(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 100; i++ {
+		k := KindIngress
+		if i%2 == 0 {
+			k = KindTxStart
+		}
+		r.Record(Event{Seq: uint32(i), Kind: k})
+	}
+	out := r.Filter(KindTxStart)
+	if len(out) != 50 || cap(out) != 50 {
+		t.Fatalf("len = %d cap = %d, want 50/50", len(out), cap(out))
+	}
+	if r.Filter(KindDrop) != nil {
+		t.Fatal("no-match filter should return nil")
+	}
+}
+
+func BenchmarkFilter(b *testing.B) {
+	var r Recorder
+	for i := 0; i < 1<<16; i++ {
+		r.Record(Event{Seq: uint32(i), Kind: Kind(i % 4)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.Filter(KindDrop); len(got) != 1<<14 {
+			b.Fatalf("filtered = %d", len(got))
+		}
+	}
+}

@@ -124,12 +124,23 @@ func (r *Recorder) Packet(flowID, seq uint32) []Event {
 	return out
 }
 
-// Filter returns stored events matching kind.
+// Filter returns stored events matching kind. A counting pass sizes
+// the result exactly, so the append loop never reallocates — traces
+// run to millions of events and the doubling copies dominated.
 func (r *Recorder) Filter(kind Kind) []Event {
 	if r == nil {
 		return nil
 	}
-	var out []Event
+	n := 0
+	for _, ev := range r.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
 	for _, ev := range r.events {
 		if ev.Kind == kind {
 			out = append(out, ev)

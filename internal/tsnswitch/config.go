@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// fall back to LinkRate) — mixed-speed networks attach 100 Mbps
 	// field devices to 1 Gbps trunks.
 	PortRates []ethernet.Rate
+
+	// Metrics, when non-nil, receives the switch's telemetry: all
+	// dataplane instruments are resolved against it at construction so
+	// the hot path never pays a lookup. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // RateFor returns port p's line rate.
@@ -127,6 +133,16 @@ const (
 	DropQueueFull
 	dropReasonCount
 )
+
+// DropReasons lists every drop reason the dataplane records, in enum
+// order — for tooling that iterates the tsn_switch_drops_total series.
+func DropReasons() []DropReason {
+	out := make([]DropReason, dropReasonCount)
+	for i := range out {
+		out[i] = DropReason(i)
+	}
+	return out
+}
 
 // String implements fmt.Stringer.
 func (r DropReason) String() string {

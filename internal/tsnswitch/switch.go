@@ -9,6 +9,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/filter"
 	"github.com/tsnbuilder/tsnbuilder/internal/forward"
 	"github.com/tsnbuilder/tsnbuilder/internal/gate"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
 	"github.com/tsnbuilder/tsnbuilder/internal/shaper"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
@@ -32,6 +33,10 @@ type Switch struct {
 	Tracer *trace.Recorder
 
 	stats Stats
+	// Telemetry: handles resolved once at construction (zero values are
+	// no-ops), plus the registry for re-binding replaced schedules.
+	met     swInstruments
+	metrics *metrics.Registry
 }
 
 // emit records a trace event if tracing is enabled.
@@ -58,6 +63,10 @@ type Port struct {
 	inGCL  gate.Schedule
 	outGCL gate.Schedule
 	bank   *shaper.Bank
+
+	// metEnq has one admitted-frames counter per queue; always sized
+	// len(queues) so the enqueue path indexes it unconditionally.
+	metEnq []metrics.Counter
 
 	transmitting bool
 	retryPending bool
@@ -115,8 +124,11 @@ func New(engine *sim.Engine, cfg Config) *Switch {
 		for q := 0; q < cfg.QueuesPerPort; q++ {
 			port.queues = append(port.queues, buffering.NewQueue(cfg.QueueDepth))
 		}
+		port.metEnq = make([]metrics.Counter, cfg.QueuesPerPort)
 		sw.ports = append(sw.ports, port)
 	}
+	sw.metrics = cfg.Metrics
+	sw.resolveInstruments(cfg.Metrics)
 	return sw
 }
 
@@ -169,6 +181,7 @@ func (sw *Switch) SetPortSchedules(p int, in, out gate.Schedule) error {
 	}
 	port := sw.Port(p)
 	port.inGCL, port.outGCL = in, out
+	sw.attachGateCounters(port)
 	return nil
 }
 
@@ -186,22 +199,26 @@ func (p *Port) Receive(f *ethernet.Frame, on *netdev.Ifc) {
 // to each output port's enqueue stage.
 func (sw *Switch) ingress(f *ethernet.Frame) {
 	sw.stats.RxFrames++
+	sw.met.rx.Inc()
 	sw.emit(trace.KindIngress, -1, -1, f, "")
 	outPorts, ok := sw.fwd.Resolve(f)
 	if !ok {
 		sw.stats.Drops[DropNoRoute]++
+		sw.met.drops[DropNoRoute].Inc()
 		sw.emit(trace.KindDrop, -1, -1, f, DropNoRoute.String())
 		return
 	}
 	v := sw.flt.Process(f, sw.engine.Now())
 	if !v.Conform {
 		sw.stats.Drops[DropMeter]++
+		sw.met.drops[DropMeter].Inc()
 		sw.emit(trace.KindDrop, -1, -1, f, DropMeter.String())
 		return
 	}
 	for _, op := range outPorts {
 		if op < 0 || op >= len(sw.ports) {
 			sw.stats.Drops[DropNoRoute]++
+			sw.met.drops[DropNoRoute].Inc()
 			continue
 		}
 		// Multicast replication clones; the common unicast case moves
@@ -224,21 +241,25 @@ func (p *Port) enqueue(f *ethernet.Frame, queueID int) {
 	qid := gate.EnqueueTarget(p.inGCL, local, queueID, sw.cfg.TSQueueA, sw.cfg.TSQueueB)
 	if qid < 0 {
 		sw.stats.Drops[DropGateClosed]++
+		sw.met.drops[DropGateClosed].Inc()
 		sw.emit(trace.KindDrop, p.id, queueID, f, DropGateClosed.String())
 		return
 	}
 	slot, ok := p.pool.Alloc(f.BufferBytes())
 	if !ok {
 		sw.stats.Drops[DropBufferFull]++
+		sw.met.drops[DropBufferFull].Inc()
 		sw.emit(trace.KindDrop, p.id, qid, f, DropBufferFull.String())
 		return
 	}
 	if !p.queues[qid].Push(buffering.Descriptor{Frame: f, Slot: slot, EnqueuedAt: sw.engine.Now()}) {
 		p.pool.Free(slot)
 		sw.stats.Drops[DropQueueFull]++
+		sw.met.drops[DropQueueFull].Inc()
 		sw.emit(trace.KindDrop, p.id, qid, f, DropQueueFull.String())
 		return
 	}
+	p.metEnq[qid].Inc()
 	sw.emit(trace.KindEnqueue, p.id, qid, f, "")
 	p.maybePreempt(qid)
 	p.tryTransmit()
@@ -274,6 +295,7 @@ func (p *Port) maybePreempt(arrivedQueue int) {
 		return // too early or too late in the frame to cut legally
 	}
 	frame := p.txHandle.Frame()
+	sw.met.preemptions.Inc()
 	p.suspended = &suspendedTx{
 		desc:      buffering.Descriptor{Frame: frame, Slot: p.txBufSlot},
 		queue:     p.txQueue,
@@ -353,10 +375,12 @@ func (p *Port) tryTransmit() {
 	}
 	p.transmitting = true
 	p.txQueue = q
+	sw.met.residence.Observe(int64(sw.engine.Now() - d.EnqueuedAt))
 	sw.emit(trace.KindTxStart, p.id, q, d.Frame, "")
 	p.txHandle = p.ifc.TransmitHandle(d.Frame, func() {
 		p.pool.Free(d.Slot)
 		sw.stats.TxFrames++
+		sw.met.tx.Inc()
 		p.transmitting = false
 		p.txHandle = nil
 		p.tryTransmit()
@@ -375,6 +399,7 @@ func (p *Port) resumeSuspended() {
 	p.txHandle = p.ifc.Resume(s.desc.Frame, s.remaining, func() {
 		p.pool.Free(s.desc.Slot)
 		sw.stats.TxFrames++
+		sw.met.tx.Inc()
 		p.transmitting = false
 		p.txHandle = nil
 		p.tryTransmit()

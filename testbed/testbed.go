@@ -10,6 +10,8 @@ package testbed
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/analyzer"
 	"github.com/tsnbuilder/tsnbuilder/internal/clock"
@@ -18,6 +20,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/gate"
 	"github.com/tsnbuilder/tsnbuilder/internal/gptp"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
 	"github.com/tsnbuilder/tsnbuilder/internal/pcap"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
@@ -60,6 +63,11 @@ type Options struct {
 	// access port (and its NIC) — mixed-speed networks with slower
 	// field devices on fast trunks. Zero keeps the design's LinkRate.
 	AccessRate ethernet.Rate
+	// Metrics, when non-nil, wires every switch, the scheduler, the
+	// collector and the gPTP domain into one telemetry registry.
+	// Instruments resolve at build time; the hot path pays one atomic-
+	// free increment per probe. Nil runs uninstrumented.
+	Metrics *metrics.Registry
 	// Seed drives clock drift assignment.
 	Seed uint64
 }
@@ -70,9 +78,10 @@ type Net struct {
 	Switches  []*tsnswitch.Switch
 	NICs      map[int]*tsnnic.NIC
 	Collector *analyzer.Collector
-	Domain    *gptp.Domain    // nil without gPTP
-	Tracer    *trace.Recorder // nil unless EnableTrace
-	Capture   *pcap.Writer    // nil unless Options.Pcap set
+	Domain    *gptp.Domain      // nil without gPTP
+	Tracer    *trace.Recorder   // nil unless EnableTrace
+	Capture   *pcap.Writer      // nil unless Options.Pcap set
+	Metrics   *metrics.Registry // nil unless Options.Metrics set
 
 	opts  Options
 	specs []*flows.Spec
@@ -98,6 +107,16 @@ func Build(opts Options) (*Net, error) {
 	if opts.EnableTrace {
 		n.Tracer = &trace.Recorder{Limit: 1 << 20}
 	}
+	if opts.Metrics != nil {
+		n.Metrics = opts.Metrics
+		opts.Metrics.Help("tsn_sim_events_total", "discrete events executed")
+		opts.Metrics.Help("tsn_sim_heap_depth_high_water", "worst-case scheduler heap depth")
+		engine.Instrument(
+			opts.Metrics.Counter("tsn_sim_events_total"),
+			opts.Metrics.Gauge("tsn_sim_heap_depth_high_water"),
+		)
+		n.Collector.Instrument(opts.Metrics)
+	}
 
 	// Access ports run at AccessRate when configured.
 	accessPorts := make(map[topology.Attach]bool)
@@ -112,6 +131,7 @@ func Build(opts Options) (*Net, error) {
 	for s := 0; s < opts.Topo.N; s++ {
 		cfg := opts.Design.SwitchConfig(s, opts.Topo.PortCount(s))
 		cfg.SharedBufferNum = opts.SharedBufferNum
+		cfg.Metrics = opts.Metrics
 		if opts.AccessRate > 0 {
 			cfg.PortRates = make([]ethernet.Rate, cfg.Ports)
 			for pt := 0; pt < cfg.Ports; pt++ {
@@ -175,6 +195,9 @@ func Build(opts Options) (*Net, error) {
 			dom.Connect(nodes[l.A.Switch], nodes[l.B.Switch], opts.CableDelay)
 		}
 		dom.SetGrandmaster(nodes[0])
+		if opts.Metrics != nil {
+			dom.Instrument(opts.Metrics)
+		}
 		dom.Start()
 		n.Domain = dom
 	}
@@ -275,7 +298,24 @@ func (n *Net) program() error {
 	}
 	type bankKey struct{ sw, port int }
 	nextCBS := map[bankKey]int{}
-	for cell, rate := range reserved {
+	// Deterministic cell order: CBS ids and metric registration must
+	// not depend on map iteration (bit-identical reruns).
+	cells := make([]pq, 0, len(reserved))
+	for cell := range reserved {
+		cells = append(cells, cell)
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.sw != b.sw {
+			return a.sw < b.sw
+		}
+		if a.port != b.port {
+			return a.port < b.port
+		}
+		return a.q < b.q
+	})
+	for _, cell := range cells {
+		rate := reserved[cell]
 		sw := n.Switches[cell.sw]
 		bk := bankKey{cell.sw, cell.port}
 		id := nextCBS[bk]
@@ -290,6 +330,14 @@ func (n *Net) program() error {
 		}
 		if err := bank.Configure(id, idle, design.Config.LinkRate); err != nil {
 			return fmt.Errorf("testbed: cbs configure: %w", err)
+		}
+		if n.Metrics != nil {
+			n.Metrics.Help("tsn_cbs_stalls_total", "egress selections blocked on negative CBS credit")
+			bank.For(cell.q).Instrument(n.Metrics.Counter("tsn_cbs_stalls_total",
+				metrics.L("switch", strconv.Itoa(cell.sw)),
+				metrics.L("port", strconv.Itoa(cell.port)),
+				metrics.L("queue", strconv.Itoa(cell.q)),
+			))
 		}
 	}
 	return nil
