@@ -24,10 +24,12 @@ bench:
 
 fuzz:
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/ethernet/
+	go test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/gptp/
 
 examples:
 	@for ex in quickstart ring-industrial star-production-cell \
-	            platform-compare tas-lowlatency reconfigure gptp-failover; do \
+	            platform-compare tas-lowlatency reconfigure gptp-failover \
+	            ring-frer-failover; do \
 		echo "=== $$ex ==="; go run ./examples/$$ex || exit 1; \
 	done
 

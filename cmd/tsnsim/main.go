@@ -24,6 +24,7 @@ import (
 
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
@@ -46,6 +47,7 @@ type runOpts struct {
 	durMs    int
 	gptp     bool
 	seed     uint64
+	faults   string
 
 	csvPath     string
 	pcapPath    string
@@ -58,7 +60,7 @@ type runOpts struct {
 
 func main() {
 	var o runOpts
-	flag.StringVar(&o.topo, "topology", "ring", "topology: star, ring, linear or tree")
+	flag.StringVar(&o.topo, "topology", "ring", "topology: star, ring, bidir-ring, linear or tree")
 	flag.IntVar(&o.switches, "switches", 6, "switch count (ring/linear); star children = switches-1")
 	flag.IntVar(&o.flows, "flows", 1024, "TS flow count")
 	flag.IntVar(&o.hops, "hops", 3, "switches each TS flow traverses")
@@ -69,6 +71,7 @@ func main() {
 	flag.IntVar(&o.durMs, "duration", 100, "measurement window (ms)")
 	noGPTP := flag.Bool("no-gptp", false, "run with perfect clocks instead of gPTP")
 	flag.Uint64Var(&o.seed, "seed", 42, "workload seed")
+	flag.StringVar(&o.faults, "faults", "", "fault-scenario JSON file to inject during the run")
 	flag.StringVar(&o.csvPath, "csv", "", "write per-flow statistics to this CSV file")
 	flag.StringVar(&o.pcapPath, "pcap", "", "write delivered frames to this pcap file")
 	flag.BoolVar(&o.hotspots, "hotspots", false, "trace the dataplane and print the worst queue-residence cells")
@@ -197,6 +200,8 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 		topo = topology.Star(o.switches - 1)
 	case "ring":
 		topo = topology.Ring(o.switches)
+	case "bidir-ring":
+		topo = topology.RingBidir(o.switches)
 	case "linear":
 		topo = topology.Linear(o.switches)
 	case "tree":
@@ -254,6 +259,12 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 	if err != nil {
 		return nil, err
 	}
+	var scenario *faults.Scenario
+	if o.faults != "" {
+		if scenario, err = faults.Load(o.faults); err != nil {
+			return nil, err
+		}
+	}
 	// The registry is always built: the exit summary reads it even when
 	// no export flag is set, and instrumented forwarding costs ~nothing.
 	reg := metrics.New()
@@ -262,6 +273,7 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 		EnableGPTP: o.gptp, Seed: o.seed, Pcap: pcapOut,
 		EnableTrace: o.hotspots || o.traceJSON != "",
 		Metrics:     reg,
+		Faults:      scenario,
 	})
 	if err != nil {
 		return nil, err
@@ -311,6 +323,11 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 		net.MaxQueueHighWater(), der.Config.QueueDepth)
 	if net.Domain != nil {
 		fmt.Printf("gPTP precision at end: %v\n", net.Domain.MaxAbsOffset())
+	}
+	if net.Injector != nil {
+		fmt.Printf("faults: injected=%d recovered=%d link-drops=%d\n",
+			net.Injector.Injected(), net.Injector.Recovered(),
+			reg.SumCounter(faults.MetricLinkDrops))
 	}
 	printSummary(reg, wall)
 	return net, nil

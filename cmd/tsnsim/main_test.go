@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -204,5 +205,83 @@ func TestMetricsBadPath(t *testing.T) {
 	o.metricsPath = "/nonexistent/dir/x.prom"
 	if err := runWithOutputs(o); err == nil {
 		t.Fatal("bad metrics path accepted")
+	}
+}
+
+// faultScenarioJSON is a mixed fault script used by the -faults tests:
+// a transient outage and probabilistic loss on ring trunks, plus a
+// clock phase step. Times sit inside the 20 ms test window.
+const faultScenarioJSON = `{
+	"faults": [
+		{"at_us": 5000, "kind": "link-down", "a": 1, "b": 2},
+		{"at_us": 9000, "kind": "link-up", "a": 1, "b": 2},
+		{"at_us": 2000, "kind": "link-loss", "a": 2, "b": 3, "prob": 0.3, "duration_us": 10000},
+		{"at_us": 4000, "kind": "clock-step", "switch": 4, "step_ns": 700}
+	]
+}`
+
+func TestRunWithFaultScenario(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.json")
+	if err := os.WriteFile(path, []byte(faultScenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := baseOpts()
+	o.faults = path
+	net, err := run(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Injector == nil {
+		t.Fatal("no injector built despite -faults")
+	}
+	if net.Injector.Injected() != 3 || net.Injector.Recovered() != 2 {
+		t.Fatalf("fault counts = %d/%d, want 3/2",
+			net.Injector.Injected(), net.Injector.Recovered())
+	}
+}
+
+func TestRunBidirRing(t *testing.T) {
+	o := baseOpts()
+	o.topo = "bidir-ring"
+	if _, err := run(o, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultScenarioDeterministic(t *testing.T) {
+	// Same -seed, same fault scenario: the full metrics snapshot —
+	// every counter, gauge and histogram bucket in the registry — must
+	// be byte-identical across runs.
+	dir := t.TempDir()
+	scenario := filepath.Join(dir, "faults.json")
+	if err := os.WriteFile(scenario, []byte(faultScenarioJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func(out string) []byte {
+		o := baseOpts()
+		o.flows, o.rcMbps = 32, 30
+		o.faults = scenario
+		o.metricsPath = filepath.Join(dir, out)
+		o.metricsJSON = true
+		if err := runWithOutputs(o); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(o.metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first, second := snapshot("a.json"), snapshot("b.json")
+	if !bytes.Equal(first, second) {
+		t.Fatalf("metrics snapshots differ between identical runs:\n--- first ---\n%.2000s\n--- second ---\n%.2000s", first, second)
+	}
+}
+
+func TestFaultScenarioBadFile(t *testing.T) {
+	o := baseOpts()
+	o.faults = "/nonexistent/faults.json"
+	if _, err := run(o, nil); err == nil {
+		t.Fatal("missing fault scenario accepted")
 	}
 }

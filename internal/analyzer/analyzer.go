@@ -37,6 +37,12 @@ type FlowStats struct {
 	Reordered uint64
 	lastSeq   uint32
 	seenSeq   bool
+	// Duplicates and Rogue count frames the 802.1CB sequence-recovery
+	// function eliminated before this collector: redundancy working as
+	// intended (duplicates) or out-of-window arrivals (rogue). Neither
+	// contributes to Received — an eliminated copy is not a delivery.
+	Duplicates uint64
+	Rogue      uint64
 }
 
 // MeanLatency returns the average latency.
@@ -207,6 +213,19 @@ func (c *Collector) Record(f *ethernet.Frame, arrival sim.Time) {
 	cs.add(lat)
 }
 
+// NoteDuplicate records a FRER-eliminated duplicate for flowID. The
+// frame is accounted as redundancy overhead, not as a delivery, so
+// loss/latency statistics never double-count member streams.
+func (c *Collector) NoteDuplicate(flowID uint32) {
+	c.stats(flowID).Duplicates++
+}
+
+// NoteRogue records a FRER rogue discard (arrival outside the
+// recovery window) for flowID.
+func (c *Collector) NoteRogue(flowID uint32) {
+	c.stats(flowID).Rogue++
+}
+
 // Flow returns flowID's statistics, or nil if nothing arrived.
 func (c *Collector) Flow(flowID uint32) *FlowStats {
 	st, ok := c.perFlow[flowID]
@@ -242,6 +261,10 @@ type Summary struct {
 	// samples.
 	P50, P99       sim.Time
 	DeadlineMisses uint64
+	// Duplicates/Rogue pool the FRER elimination counts of the class's
+	// flows (see FlowStats).
+	Duplicates uint64
+	Rogue      uint64
 }
 
 // Summarize pools all flows of class cls. sent maps flowID to the
@@ -255,6 +278,8 @@ func (c *Collector) Summarize(cls ethernet.Class, sent map[uint32]uint64) Summar
 			continue
 		}
 		s.Flows++
+		s.Duplicates += st.Duplicates
+		s.Rogue += st.Rogue
 		if st.Received == 0 {
 			continue // registered but fully lost: no latency samples
 		}

@@ -40,6 +40,10 @@ type Pool struct {
 	// allocFail counts allocation failures (drops due to buffer
 	// exhaustion).
 	allocFail uint64
+	// reserved holds slots withheld from the free list by a fault
+	// injector (transient buffer exhaustion). Reserved slots are
+	// neither free nor in use, so leak accounting ignores them.
+	reserved []int
 
 	// Telemetry handles; zero values are no-ops.
 	metOcc  metrics.Gauge
@@ -119,6 +123,37 @@ func (p *Pool) Free(slot int) {
 	p.inUse--
 	p.metOcc.Set(int64(p.inUse))
 }
+
+// Reserve withholds up to n slots from the free list without marking
+// them in use — the fault-injection model for transient buffer
+// exhaustion (e.g. a babbling internal DMA engine hogging buffers).
+// Returns how many slots were actually withheld; allocations competing
+// with the reservation fail exactly as on a genuinely full pool.
+func (p *Pool) Reserve(n int) int {
+	if n < 0 {
+		panic("buffering: negative Reserve")
+	}
+	taken := 0
+	for taken < n && len(p.free) > 0 {
+		slot := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.reserved = append(p.reserved, slot)
+		taken++
+	}
+	return taken
+}
+
+// ReleaseReserved returns every reserved slot to the free list and
+// reports how many were released.
+func (p *Pool) ReleaseReserved() int {
+	n := len(p.reserved)
+	p.free = append(p.free, p.reserved...)
+	p.reserved = nil
+	return n
+}
+
+// Reserved returns how many slots are currently withheld.
+func (p *Pool) Reserved() int { return len(p.reserved) }
 
 // Queue is a fixed-depth FIFO of descriptors: the hardware per-queue
 // metadata memory.

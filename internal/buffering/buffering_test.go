@@ -257,3 +257,39 @@ func TestPoolHighWaterProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPoolReserveExhausts(t *testing.T) {
+	p := NewPool(4)
+	s, _ := p.Alloc(64)
+	if got := p.Reserve(10); got != 3 {
+		t.Fatalf("Reserve took %d slots, want 3 (all remaining)", got)
+	}
+	if p.Reserved() != 3 {
+		t.Fatalf("Reserved = %d, want 3", p.Reserved())
+	}
+	if _, ok := p.Alloc(64); ok {
+		t.Fatal("alloc succeeded while pool reserved-out")
+	}
+	if p.InUse() != 1 {
+		t.Fatalf("reservation leaked into InUse: %d", p.InUse())
+	}
+	if p.ReleaseReserved() != 3 {
+		t.Fatal("ReleaseReserved count wrong")
+	}
+	if _, ok := p.Alloc(64); !ok {
+		t.Fatal("alloc failed after release")
+	}
+	p.Free(s)
+	if p.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1", p.InUse())
+	}
+}
+
+func TestPoolReserveNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Reserve did not panic")
+		}
+	}()
+	NewPool(1).Reserve(-1)
+}

@@ -101,3 +101,12 @@ func (c *Clock) TrimPPB() PPB { return c.trim }
 
 // Drift returns the intrinsic oscillator error.
 func (c *Clock) Drift() PPB { return c.drift }
+
+// SetDrift replaces the intrinsic oscillator error from now on — a
+// frequency step, as a temperature shock or failing oscillator would
+// produce. Past readings are unaffected; the servo trim is kept, so a
+// disciplined clock starts re-converging from its current correction.
+func (c *Clock) SetDrift(now sim.Time, drift PPB) {
+	c.reanchor(now)
+	c.drift = drift
+}

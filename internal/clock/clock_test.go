@@ -139,3 +139,34 @@ func TestStepProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetDriftFrequencyStep(t *testing.T) {
+	c := New(0, 0)
+	// Perfect for 1 s, then a +100 ppm frequency step.
+	c.SetDrift(sim.Second, 100_000)
+	if got := c.Now(sim.Second); got != sim.Second {
+		t.Fatalf("SetDrift rewrote history: Now(1s) = %v", got)
+	}
+	// One second at +100 ppm gains 100 µs.
+	want := 2*sim.Second + 100*sim.Microsecond
+	if got := c.Now(2 * sim.Second); got != want {
+		t.Fatalf("Now(2s) = %v, want %v", got, want)
+	}
+	if c.Drift() != 100_000 {
+		t.Fatalf("Drift = %d, want 100000", c.Drift())
+	}
+}
+
+func TestSetDriftKeepsTrim(t *testing.T) {
+	c := New(50_000, 0)
+	c.Trim(0, -50_000) // servo cancels the drift exactly
+	c.SetDrift(sim.Second, 80_000)
+	if c.TrimPPB() != -50_000 {
+		t.Fatalf("SetDrift clobbered trim: %d", c.TrimPPB())
+	}
+	// Net rate is now 80k-50k = +30k ppb = +30 ppm: gains 30 µs/s.
+	want := 2*sim.Second + 30*sim.Microsecond
+	if got := c.Now(2 * sim.Second); got != want {
+		t.Fatalf("Now(2s) = %v, want %v", got, want)
+	}
+}

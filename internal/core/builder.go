@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
 	"github.com/tsnbuilder/tsnbuilder/internal/resource"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
@@ -32,6 +33,10 @@ type Config struct {
 	QueueDepth int
 	// set_buffers
 	BufferNum int
+	// set_frer_tbl — the eighth resource class (802.1CB sequence
+	// recovery), optional: zero means no FRER hardware is generated.
+	FRERSize    int
+	FRERHistory int
 
 	// SlotSize is the gate time slot (65 µs in the evaluation).
 	SlotSize sim.Time
@@ -166,6 +171,23 @@ func (b *Builder) SetBuffers(bufferNum, portNum int) *Builder {
 	}
 	b.checkPortNum("set_buffers", portNum)
 	b.cfg.BufferNum = bufferNum
+	return b
+}
+
+// SetFRERTbl implements set_frer_tbl(frer_size, history_len), the
+// eighth customization API: an 802.1CB sequence-recovery table of
+// frer_size streams with a history_len-bit window per entry. Unlike
+// the paper's seven APIs it is optional — designs without redundant
+// streams simply never call it and pay zero BRAM.
+func (b *Builder) SetFRERTbl(frerSize, historyLen int) *Builder {
+	b.need(TemplateIngressFilter, "set_frer_tbl")
+	if frerSize < 0 {
+		b.errf("core: set_frer_tbl negative size %d", frerSize)
+	}
+	if frerSize > 0 && (historyLen < 1 || historyLen > frer.MaxHistory) {
+		b.errf("core: set_frer_tbl history %d out of [1,%d]", historyLen, frer.MaxHistory)
+	}
+	b.cfg.FRERSize, b.cfg.FRERHistory = frerSize, historyLen
 	return b
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
 	"github.com/tsnbuilder/tsnbuilder/internal/itp"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/topology"
@@ -55,9 +56,19 @@ func (sc *Scenario) defaults() {
 }
 
 // BindPaths fills each flow's Path from the topology and the hosts'
-// attachment points.
+// attachment points. FRER flows get two link-disjoint member-stream
+// paths (Path + AltPath), which requires a topology that can provide
+// them (a bidirectional ring).
 func BindPaths(topo *topology.Topology, specs []*flows.Spec) error {
 	for _, s := range specs {
+		if s.FRER {
+			pri, alt, err := topo.DisjointHostPaths(s.SrcHost, s.DstHost)
+			if err != nil {
+				return fmt.Errorf("core: FRER flow %d: %w", s.ID, err)
+			}
+			s.Path, s.AltPath = pri, alt
+			continue
+		}
 		p, err := topo.HostPath(s.SrcHost, s.DstHost)
 		if err != nil {
 			return fmt.Errorf("core: flow %d: %w", s.ID, err)
@@ -91,7 +102,7 @@ func DeriveConfig(sc Scenario) (*Derivation, error) {
 	if len(sc.Flows) == 0 {
 		return nil, fmt.Errorf("core: scenario without flows")
 	}
-	nFlows := 0
+	nFlows, nFRER := 0, 0
 	for _, s := range sc.Flows {
 		if err := s.Validate(); err != nil {
 			return nil, err
@@ -100,6 +111,12 @@ func DeriveConfig(sc Scenario) (*Derivation, error) {
 			return nil, fmt.Errorf("core: flow %d has no path (call BindPaths)", s.ID)
 		}
 		nFlows++
+		if s.FRER {
+			if len(s.AltPath) == 0 {
+				return nil, fmt.Errorf("core: FRER flow %d has no alternate path (call BindPaths)", s.ID)
+			}
+			nFRER++
+		}
 	}
 
 	// Guideline (4): plan injection times, then provision depth with
@@ -154,10 +171,16 @@ func DeriveConfig(sc Scenario) (*Derivation, error) {
 	}
 	depth += (depth*sc.DepthMargin + 99) / 100
 
+	// Each FRER flow consumes a second forwarding/classification entry
+	// (its member stream on AltVID) and one sequence-recovery entry.
+	// The ITP plan covers the primary paths; the replicas ride the same
+	// injection offsets, and the depth margin absorbs their extra
+	// occupancy on the disjoint alternate paths.
+	nEntries := nFlows + nFRER
 	cfg := Config{
-		UnicastSize:   nFlows, // guideline (1): one entry per flow worst case
-		MulticastSize: 0,      // multicast split into unicast flows (§IV.B)
-		ClassSize:     nFlows,
+		UnicastSize:   nEntries, // guideline (1): one entry per flow worst case
+		MulticastSize: 0,        // multicast split into unicast flows (§IV.B)
+		ClassSize:     nEntries,
 		MeterSize:     nFlows,
 		GateSize:      2, // CQF: scheduling cycle = 2 slots
 		QueueNum:      sc.QueueNum,
@@ -168,6 +191,10 @@ func DeriveConfig(sc Scenario) (*Derivation, error) {
 		BufferNum:     depth * sc.QueueNum, // overall buffers = depth × all queues
 		SlotSize:      sc.SlotSize,
 		LinkRate:      sc.LinkRate,
+	}
+	if nFRER > 0 {
+		cfg.FRERSize = nFRER
+		cfg.FRERHistory = frer.DefaultHistory
 	}
 	return &Derivation{Config: cfg, Plan: plan}, nil
 }
@@ -184,6 +211,9 @@ func BuilderFor(cfg Config, platform Platform) *Builder {
 		SetQueues(cfg.QueueDepth, cfg.QueueNum, cfg.PortNum).
 		SetBuffers(cfg.BufferNum, cfg.PortNum).
 		SetTiming(cfg.SlotSize, cfg.LinkRate)
+	if cfg.FRERSize > 0 {
+		b.SetFRERTbl(cfg.FRERSize, cfg.FRERHistory)
+	}
 	return b
 }
 

@@ -47,6 +47,12 @@ func DiffConfigs(old, new Config) []string {
 	if old.BufferNum != new.BufferNum {
 		add("set_buffers", "buffer_num", old.BufferNum, new.BufferNum)
 	}
+	if old.FRERSize != new.FRERSize {
+		add("set_frer_tbl", "frer_size", old.FRERSize, new.FRERSize)
+	}
+	if old.FRERHistory != new.FRERHistory {
+		add("set_frer_tbl", "history_len", old.FRERHistory, new.FRERHistory)
+	}
 	if old.SlotSize != new.SlotSize {
 		add("timing", "slot_size", old.SlotSize, new.SlotSize)
 	}
@@ -67,6 +73,9 @@ func (c Config) String() string {
 	fmt.Fprintf(&b, "set_cbs_tbl(%d, %d, %d)\n", c.CBSMapSize, c.CBSSize, c.PortNum)
 	fmt.Fprintf(&b, "set_queues(%d, %d, %d)\n", c.QueueDepth, c.QueueNum, c.PortNum)
 	fmt.Fprintf(&b, "set_buffers(%d, %d)\n", c.BufferNum, c.PortNum)
+	if c.FRERSize > 0 {
+		fmt.Fprintf(&b, "set_frer_tbl(%d, %d)\n", c.FRERSize, c.FRERHistory)
+	}
 	fmt.Fprintf(&b, "timing: slot=%v rate=%dMbps", c.SlotSize, int64(c.LinkRate)/1_000_000)
 	return b.String()
 }

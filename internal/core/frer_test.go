@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/topology"
+)
+
+func TestSetFRERTblOptional(t *testing.T) {
+	// A design that never calls set_frer_tbl builds fine and pays no
+	// BRAM for the eighth class.
+	cfg := PaperCustomizedConfig(1)
+	d, err := BuilderFor(cfg, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range d.Report.Items {
+		if it.Name == "FRER Tbl" {
+			t.Fatal("FRER row present without set_frer_tbl")
+		}
+	}
+
+	cfg.FRERSize, cfg.FRERHistory = 16, frer.DefaultHistory
+	d, err = BuilderFor(cfg, nil).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range d.Report.Items {
+		if it.Name == "FRER Tbl" {
+			found = true
+			if it.Bits == 0 {
+				t.Fatal("FRER row costs no BRAM")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("FRER row missing after set_frer_tbl")
+	}
+	if !strings.Contains(d.Config.String(), "set_frer_tbl(16, 32)") {
+		t.Fatalf("config string misses set_frer_tbl: %s", d.Config.String())
+	}
+}
+
+func TestSetFRERTblValidation(t *testing.T) {
+	b := NewBuilder(nil)
+	b.SetFRERTbl(-1, 8)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("negative frer_size accepted")
+	}
+	b = NewBuilder(nil)
+	b.SetFRERTbl(4, frer.MaxHistory+1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("oversize history accepted")
+	}
+}
+
+func TestDiffConfigsFRER(t *testing.T) {
+	a := PaperCustomizedConfig(1)
+	b := a
+	b.FRERSize, b.FRERHistory = 8, 32
+	diffs := DiffConfigs(a, b)
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "frer_size") || !strings.Contains(joined, "history_len") {
+		t.Fatalf("FRER diff missing: %v", diffs)
+	}
+}
+
+func TestDeriveConfigFRER(t *testing.T) {
+	topo := topology.RingBidir(6)
+	topo.AttachHost(0, 0)
+	topo.AttachHost(1, 3)
+	specs := []*flows.Spec{
+		{
+			ID: 1, Class: ethernet.ClassTS, SrcHost: 0, DstHost: 1,
+			VID: 100, AltVID: 2148, PCP: 7, WireSize: 256,
+			Period: 10 * sim.Millisecond, Deadline: 2 * sim.Millisecond,
+			FRER: true,
+		},
+		{
+			ID: 2, Class: ethernet.ClassTS, SrcHost: 0, DstHost: 1,
+			VID: 100, PCP: 7, WireSize: 256,
+			Period: 10 * sim.Millisecond, Deadline: 2 * sim.Millisecond,
+		},
+	}
+	if err := BindPaths(topo, specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(specs[0].AltPath) == 0 {
+		t.Fatal("BindPaths did not fill AltPath for FRER flow")
+	}
+	if specs[0].Path[1] == specs[0].AltPath[1] {
+		t.Fatal("member-stream paths not disjoint")
+	}
+	der, err := DeriveConfig(Scenario{Topo: topo, Flows: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := der.Config
+	if cfg.FRERSize != 1 || cfg.FRERHistory != frer.DefaultHistory {
+		t.Fatalf("FRER sizing = %d/%d", cfg.FRERSize, cfg.FRERHistory)
+	}
+	// 2 flows + 1 member stream = 3 forwarding/classification entries.
+	if cfg.UnicastSize != 3 || cfg.ClassSize != 3 {
+		t.Fatalf("entry sizing = %d/%d, want 3/3", cfg.UnicastSize, cfg.ClassSize)
+	}
+	if cfg.MeterSize != 2 {
+		t.Fatalf("meter sizing = %d, want 2", cfg.MeterSize)
+	}
+}
+
+func TestBindPathsFRERNeedsBidirRing(t *testing.T) {
+	topo := topology.Ring(4)
+	topo.AttachHost(0, 0)
+	topo.AttachHost(1, 2)
+	specs := []*flows.Spec{{
+		ID: 1, Class: ethernet.ClassTS, SrcHost: 0, DstHost: 1,
+		VID: 100, AltVID: 2148, WireSize: 128, Period: sim.Millisecond,
+		FRER: true,
+	}}
+	if err := BindPaths(topo, specs); err == nil {
+		t.Fatal("FRER on a unidirectional ring bound paths")
+	}
+}

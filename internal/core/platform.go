@@ -25,7 +25,7 @@ func (FPGA) Name() string { return "fpga-bram" }
 
 // MemoryCost implements Platform with the calibrated Table III model.
 func (FPGA) MemoryCost(cfg Config) *resource.Report {
-	return &resource.Report{
+	r := &resource.Report{
 		Label: fmt.Sprintf("FPGA BRAM (%d ports)", cfg.PortNum),
 		Items: []resource.Item{
 			resource.SwitchTbl(cfg.UnicastSize, cfg.MulticastSize),
@@ -37,6 +37,12 @@ func (FPGA) MemoryCost(cfg Config) *resource.Report {
 			resource.Buffers(cfg.BufferNum, cfg.PortNum),
 		},
 	}
+	// The eighth class appears only when set_frer_tbl was called, so
+	// designs without redundancy reproduce Table III bit-for-bit.
+	if cfg.FRERSize > 0 {
+		r.Items = append(r.Items, resource.FRERTbl(cfg.FRERSize, cfg.FRERHistory))
+	}
+	return r
 }
 
 // ASIC models an SRAM-based ASIC target where memories are compiled to
@@ -70,7 +76,7 @@ func (a ASIC) macro(name, width string, params string, bits int64, macros int64)
 // MemoryCost implements Platform with exact-size SRAM macros.
 func (a ASIC) MemoryCost(cfg Config) *resource.Report {
 	ports := int64(cfg.PortNum)
-	return &resource.Report{
+	r := &resource.Report{
 		Label: fmt.Sprintf("ASIC SRAM (%d ports)", cfg.PortNum),
 		Items: []resource.Item{
 			a.macro("Switch Tbl", "72b", fmt.Sprintf("%d, %d", cfg.UnicastSize, cfg.MulticastSize),
@@ -92,4 +98,11 @@ func (a ASIC) MemoryCost(cfg Config) *resource.Report {
 				int64(resource.BufferSlotBits)*int64(cfg.BufferNum)*ports, ports),
 		},
 	}
+	if cfg.FRERSize > 0 {
+		r.Items = append(r.Items, a.macro("FRER Tbl",
+			fmt.Sprintf("%db", resource.FRERBaseWidth+cfg.FRERHistory),
+			fmt.Sprintf("%d, %d", cfg.FRERSize, cfg.FRERHistory),
+			int64(resource.FRERBaseWidth+cfg.FRERHistory)*int64(cfg.FRERSize), 1))
+	}
+	return r
 }

@@ -43,6 +43,15 @@ type Spec struct {
 	// Path is the switch sequence the flow traverses (filled by the
 	// testbed from the topology).
 	Path []int
+
+	// FRER enables 802.1CB seamless redundancy: the talker replicates
+	// every frame onto a second, link-disjoint member stream carried on
+	// AltVID along AltPath, and the listener eliminates duplicates in
+	// its sequence-recovery table. AltVID must differ from VID so the
+	// two member streams hit distinct forwarding entries.
+	FRER    bool
+	AltVID  uint16
+	AltPath []int
 }
 
 // Validate checks that the spec is internally consistent.
@@ -67,6 +76,14 @@ func (s *Spec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("flows: flow %d unknown class %d", s.ID, s.Class)
+	}
+	if s.FRER {
+		if s.Class != ethernet.ClassTS {
+			return fmt.Errorf("flows: FRER flow %d must be TS, is %v", s.ID, s.Class)
+		}
+		if s.AltVID == 0 || s.AltVID == s.VID {
+			return fmt.Errorf("flows: FRER flow %d needs AltVID distinct from VID %d", s.ID, s.VID)
+		}
 	}
 	return nil
 }

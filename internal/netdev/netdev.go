@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
 
@@ -36,6 +37,27 @@ type Ifc struct {
 	// sniff, when set, observes every frame delivered to this
 	// interface (a mirror-port tap).
 	sniff func(*ethernet.Frame, sim.Time)
+
+	// Link state. down is symmetric across the cable (both ends are
+	// flipped together); epoch increments on every down transition so
+	// frames serialized before an outage are dropped at delivery time
+	// even if the link has flapped back up by then.
+	down  bool
+	epoch uint64
+
+	// Egress impairments for the i→peer direction, evaluated at
+	// delivery time: lossProb drops the frame outright, corruptProb
+	// models a bit error the receiver discards as an FCS failure.
+	lossProb    float64
+	corruptProb float64
+	impairRng   *sim.Rand
+
+	dropLinkDown uint64
+	dropLoss     uint64
+	dropCorrupt  uint64
+	mLinkDown    metrics.Counter
+	mLoss        metrics.Counter
+	mCorrupt     metrics.Counter
 }
 
 // NewIfc creates an interface owned by owner at the given line rate.
@@ -60,6 +82,70 @@ func Connect(a, b *Ifc, prop sim.Time) {
 
 // Rate returns the line rate.
 func (i *Ifc) Rate() ethernet.Rate { return i.rate }
+
+// LinkUp reports whether the cable is up. An interface with no cable
+// is down by definition.
+func (i *Ifc) LinkUp() bool { return i.peer != nil && !i.down }
+
+// SetLink changes the administrative/physical state of the cable this
+// interface is attached to. Both ends change together, as with a real
+// cable pull. Taking the link down does NOT interrupt the local MAC:
+// an in-flight transmission keeps occupying the wire and its onDone
+// completion still fires exactly once at the normal time — only the
+// delivery to the peer is suppressed. This guarantees a fault can
+// never strand a busy interface or double-fire a completion.
+//
+// Idempotent: setting the current state again is a no-op.
+func (i *Ifc) SetLink(up bool) {
+	if i.peer == nil {
+		panic(fmt.Sprintf("netdev: %s SetLink with no cable", i.Name))
+	}
+	if up != i.down { // already in the requested state
+		return
+	}
+	i.down, i.peer.down = !up, !up
+	if !up {
+		i.epoch++
+		i.peer.epoch++
+	}
+}
+
+// Disconnect is SetLink(false): the peer disappears mid-flight. Frames
+// currently on the wire are lost; the transmitting MAC completes
+// normally.
+func (i *Ifc) Disconnect() { i.SetLink(false) }
+
+// SetImpairment configures probabilistic loss and bit corruption for
+// frames transmitted from this interface toward its peer. Corrupted
+// frames are discarded by the receiver (FCS check), so both impairments
+// surface as drops; they are counted separately. rng must be non-nil
+// when either probability is positive, and should be dedicated to this
+// interface so fault scenarios stay deterministic.
+func (i *Ifc) SetImpairment(lossProb, corruptProb float64, rng *sim.Rand) {
+	if (lossProb > 0 || corruptProb > 0) && rng == nil {
+		panic(fmt.Sprintf("netdev: %s impairment without rng", i.Name))
+	}
+	if lossProb < 0 || lossProb > 1 || corruptProb < 0 || corruptProb > 1 {
+		panic(fmt.Sprintf("netdev: %s impairment probability out of [0,1]", i.Name))
+	}
+	i.lossProb, i.corruptProb, i.impairRng = lossProb, corruptProb, rng
+}
+
+// ClearImpairment removes any configured loss/corruption.
+func (i *Ifc) ClearImpairment() { i.lossProb, i.corruptProb, i.impairRng = 0, 0, nil }
+
+// InstrumentLink binds per-reason drop counters for frames lost on the
+// i→peer direction of the link (link-down, probabilistic loss, bit
+// corruption). Zero-value counters are no-ops.
+func (i *Ifc) InstrumentLink(linkDown, loss, corrupt metrics.Counter) {
+	i.mLinkDown, i.mLoss, i.mCorrupt = linkDown, loss, corrupt
+}
+
+// LinkDrops returns the number of frames lost on the i→peer direction
+// broken down by cause: (link down, probabilistic loss, corruption).
+func (i *Ifc) LinkDrops() (linkDown, loss, corrupt uint64) {
+	return i.dropLinkDown, i.dropLoss, i.dropCorrupt
+}
 
 // Peer returns the interface at the other end of the cable.
 func (i *Ifc) Peer() *Ifc { return i.peer }
@@ -118,7 +204,30 @@ func (i *Ifc) transmitBytes(f *ethernet.Frame, wireBytes int, onDone func()) *Tx
 	h := &TxHandle{ifc: i, frame: f, wireBytes: wireBytes, started: now}
 	deliver := f.Clone()
 	peer := i.peer
+	epoch := i.epoch
 	h.deliver = i.engine.After(wire+i.prop, "deliver:"+i.Name, func(e *sim.Engine) {
+		// Link faults and impairments are applied at delivery time so
+		// the transmitting MAC's timing is never perturbed. The epoch
+		// check catches a down/up flap between serialization and
+		// arrival: a frame launched before (or during) an outage is
+		// lost even if the link is back up now.
+		if i.down || i.epoch != epoch {
+			i.dropLinkDown++
+			i.mLinkDown.Inc()
+			return
+		}
+		if i.lossProb > 0 && i.impairRng.Float64() < i.lossProb {
+			i.dropLoss++
+			i.mLoss.Inc()
+			return
+		}
+		if i.corruptProb > 0 && i.impairRng.Float64() < i.corruptProb {
+			// Bit error on the wire: the receiver's FCS check fails
+			// and the MAC discards the frame silently.
+			i.dropCorrupt++
+			i.mCorrupt.Inc()
+			return
+		}
 		peer.rxFrames++
 		peer.owner.Receive(deliver, peer)
 		if peer.sniff != nil {

@@ -25,6 +25,12 @@ const (
 	CBSMapWidth    = 8  // queue → shaper binding
 	CBSWidth       = 64 // idleslope + sendslope + credit
 	QueueMetaWidth = 32 // packet descriptor (metadata)
+	// FRERBaseWidth is the fixed part of one 802.1CB sequence-recovery
+	// entry: stream handle (16b) + RecovSeqNum (16b, the standard's
+	// sequence-number space) + head pointer and per-stream counters.
+	// The history window bitmap (SequenceHistory, one bit per sequence
+	// number remembered) is added per configured history length.
+	FRERBaseWidth = 48
 )
 
 // Buffer geometry: a 2048 B payload slot plus a 112 B descriptor
@@ -158,6 +164,19 @@ func Buffers(bufferNum, portNum int) Item {
 		Width:  fmt.Sprintf("%dB", BufferPayloadBytes),
 		Params: fmt.Sprintf("%d, %d", bufferNum, portNum),
 		Bits:   int64(BufferSlotBits) * int64(bufferNum) * int64(portNum),
+	}
+}
+
+// FRERTbl models set_frer_tbl(frer_size, history_len): the eighth
+// resource class, not in the paper's Table II but built in its spirit —
+// an 802.1CB sequence-recovery table of frer_size streams, each entry
+// carrying the vector-recovery state plus a history_len-bit window.
+func FRERTbl(frerSize, historyLen int) Item {
+	return Item{
+		Name:   "FRER Tbl",
+		Width:  fmt.Sprintf("%db", FRERBaseWidth+historyLen),
+		Params: fmt.Sprintf("%s, %d", compact(frerSize), historyLen),
+		Bits:   tableBits(FRERBaseWidth+historyLen, frerSize),
 	}
 }
 

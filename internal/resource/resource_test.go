@@ -196,3 +196,25 @@ func TestPortLinearityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFRERTbl(t *testing.T) {
+	// 32 streams × (48+32)b = 2560 bits → one 18 Kb block.
+	it := FRERTbl(32, 32)
+	if it.Bits != Block18Bits {
+		t.Fatalf("FRERTbl(32,32) = %d bits, want one 18Kb block", it.Bits)
+	}
+	if it.Width != "80b" || it.Params != "32, 32" {
+		t.Fatalf("FRERTbl row = %q %q", it.Width, it.Params)
+	}
+	// 1024 streams × (48+64)b = 114688 bits → ceil(/18Kb) = 7 blocks.
+	it = FRERTbl(1024, 64)
+	if it.Bits != 7*Block18Bits {
+		t.Fatalf("FRERTbl(1024,64) = %d bits, want 7 blocks", it.Bits)
+	}
+	if it.Params != "1K, 64" {
+		t.Fatalf("compact params = %q", it.Params)
+	}
+	if FRERTbl(0, 32).Bits != 0 {
+		t.Fatal("zero-sized FRER table costs BRAM")
+	}
+}

@@ -10,6 +10,7 @@ package topology
 
 import (
 	"fmt"
+	"sort"
 )
 
 // Kind enumerates the supported shapes.
@@ -21,6 +22,7 @@ const (
 	KindRing
 	KindLinear
 	KindTree
+	KindRingBidir
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +36,8 @@ func (k Kind) String() string {
 		return "linear"
 	case KindTree:
 		return "tree"
+	case KindRingBidir:
+		return "bidir-ring"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -132,6 +136,34 @@ func Ring(n int) *Topology {
 		t.links = append(t.links, Link{
 			A: Attach{Switch: i, Port: t.adj[i][next]},
 			B: Attach{Switch: next, Port: rx},
+		})
+	}
+	return t
+}
+
+// RingBidir builds n switches in a bidirectional ring: switch i can
+// forward both to (i+1) mod n (port 0, clockwise) and to (i-1) mod n
+// (port 1, counter-clockwise). Two enabled TSN ports per node. This is
+// the redundant-ring shape 802.1CB FRER needs: any two nodes are joined
+// by two link-disjoint paths, one per ring direction.
+func RingBidir(n int) *Topology {
+	if n < 3 {
+		panic("topology: bidir ring needs at least 3 switches")
+	}
+	t := newTopology(KindRingBidir, n, 2)
+	for i := 0; i < n; i++ {
+		t.addTrunk(i, (i+1)%n) // port 0: clockwise
+	}
+	for i := 0; i < n; i++ {
+		t.addTrunk(i, (i-1+n)%n) // port 1: counter-clockwise
+	}
+	// One physical cable per adjacent pair, joining i's clockwise port
+	// to (i+1)'s counter-clockwise port.
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		t.links = append(t.links, Link{
+			A: Attach{Switch: i, Port: t.adj[i][next]},
+			B: Attach{Switch: next, Port: t.adj[next][i]},
 		})
 	}
 	return t
@@ -265,7 +297,15 @@ func (t *Topology) Path(src, dst int) ([]int, error) {
 		if cur == dst {
 			break
 		}
+		// Iterate neighbors in sorted order so tie-breaking between
+		// equal-length paths (possible on the bidirectional ring) is
+		// deterministic across runs.
+		nbs := make([]int, 0, len(t.adj[cur]))
 		for nb := range t.adj[cur] {
+			nbs = append(nbs, nb)
+		}
+		sort.Ints(nbs)
+		for _, nb := range nbs {
 			if prev[nb] == -1 {
 				prev[nb] = cur
 				queue = append(queue, nb)
@@ -285,6 +325,49 @@ func (t *Topology) Path(src, dst int) ([]int, error) {
 		rev[i], rev[j] = rev[j], rev[i]
 	}
 	return rev, nil
+}
+
+// DisjointPaths returns two link-disjoint switch paths from src to
+// dst: the clockwise and counter-clockwise walks of a bidirectional
+// ring. These are the member streams' paths for 802.1CB replication.
+// Only KindRingBidir guarantees disjointness; other kinds return an
+// error.
+func (t *Topology) DisjointPaths(src, dst int) (primary, alternate []int, err error) {
+	if t.Kind != KindRingBidir {
+		return nil, nil, fmt.Errorf("topology: disjoint paths need a bidirectional ring, have %v", t.Kind)
+	}
+	if src < 0 || src >= t.N || dst < 0 || dst >= t.N {
+		return nil, nil, fmt.Errorf("topology: disjoint paths %d->%d out of range", src, dst)
+	}
+	if src == dst {
+		return nil, nil, fmt.Errorf("topology: disjoint paths need distinct endpoints")
+	}
+	for cur := src; ; cur = (cur + 1) % t.N {
+		primary = append(primary, cur)
+		if cur == dst {
+			break
+		}
+	}
+	for cur := src; ; cur = (cur - 1 + t.N) % t.N {
+		alternate = append(alternate, cur)
+		if cur == dst {
+			break
+		}
+	}
+	return primary, alternate, nil
+}
+
+// DisjointHostPaths is DisjointPaths between two attached hosts.
+func (t *Topology) DisjointHostPaths(srcHost, dstHost int) (primary, alternate []int, err error) {
+	sa, ok := t.hostPort[srcHost]
+	if !ok {
+		return nil, nil, fmt.Errorf("topology: host %d not attached", srcHost)
+	}
+	da, ok := t.hostPort[dstHost]
+	if !ok {
+		return nil, nil, fmt.Errorf("topology: host %d not attached", dstHost)
+	}
+	return t.DisjointPaths(sa.Switch, da.Switch)
 }
 
 // HostPath returns the full switch path between two attached hosts.

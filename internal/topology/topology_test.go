@@ -261,3 +261,91 @@ func TestKindString(t *testing.T) {
 		t.Fatal("unknown kind formatting")
 	}
 }
+
+func TestRingBidir(t *testing.T) {
+	r := RingBidir(5)
+	if r.EnabledTSNPorts != 2 {
+		t.Fatalf("EnabledTSNPorts = %d, want 2", r.EnabledTSNPorts)
+	}
+	if got := len(r.TrunkLinks()); got != 5 {
+		t.Fatalf("links = %d, want 5", got)
+	}
+	// Clockwise on port 0, counter-clockwise on port 1, everywhere.
+	for i := 0; i < 5; i++ {
+		if p, _ := r.PortToward(i, (i+1)%5); p != 0 {
+			t.Fatalf("sw%d clockwise port = %d, want 0", i, p)
+		}
+		if p, _ := r.PortToward(i, (i+4)%5); p != 1 {
+			t.Fatalf("sw%d counter-clockwise port = %d, want 1", i, p)
+		}
+	}
+	// Shortest path goes the short way round.
+	path, err := r.Path(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 || path[1] != 4 {
+		t.Fatalf("Path(0,4) = %v, want [0 4]", path)
+	}
+}
+
+func TestRingBidirDisjointPaths(t *testing.T) {
+	r := RingBidir(6)
+	pri, alt, err := r.DisjointPaths(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPri := []int{0, 1, 2, 3}
+	wantAlt := []int{0, 5, 4, 3}
+	for i := range wantPri {
+		if pri[i] != wantPri[i] {
+			t.Fatalf("primary = %v, want %v", pri, wantPri)
+		}
+	}
+	for i := range wantAlt {
+		if alt[i] != wantAlt[i] {
+			t.Fatalf("alternate = %v, want %v", alt, wantAlt)
+		}
+	}
+	// Link-disjoint: no shared interior hop pair.
+	seen := map[[2]int]bool{}
+	for i := 0; i+1 < len(pri); i++ {
+		seen[[2]int{pri[i], pri[i+1]}] = true
+	}
+	for i := 0; i+1 < len(alt); i++ {
+		hop := [2]int{alt[i], alt[i+1]}
+		rev := [2]int{alt[i+1], alt[i]}
+		if seen[hop] || seen[rev] {
+			t.Fatalf("paths share link %v", hop)
+		}
+	}
+}
+
+func TestDisjointPathsErrors(t *testing.T) {
+	if _, _, err := Ring(4).DisjointPaths(0, 2); err == nil {
+		t.Fatal("unidirectional ring accepted disjoint paths")
+	}
+	r := RingBidir(4)
+	if _, _, err := r.DisjointPaths(1, 1); err == nil {
+		t.Fatal("same-endpoint disjoint paths accepted")
+	}
+	if _, _, err := r.DisjointPaths(0, 9); err == nil {
+		t.Fatal("out-of-range disjoint paths accepted")
+	}
+}
+
+func TestRingBidirHostDisjointPaths(t *testing.T) {
+	r := RingBidir(4)
+	r.AttachHost(100, 0)
+	r.AttachHost(101, 2)
+	pri, alt, err := r.DisjointHostPaths(100, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pri) != 3 || len(alt) != 3 || pri[1] == alt[1] {
+		t.Fatalf("host disjoint paths wrong: %v / %v", pri, alt)
+	}
+	if _, _, err := r.DisjointHostPaths(100, 999); err == nil {
+		t.Fatal("unattached host accepted")
+	}
+}

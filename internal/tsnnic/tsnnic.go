@@ -15,6 +15,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/analyzer"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
 	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 )
@@ -34,9 +35,20 @@ type NIC struct {
 	// across NICs are allowed (one "analyzer" box).
 	Collector *analyzer.Collector
 
-	// sent counts transmitted frames per flow.
+	// sent counts transmitted frames per flow. FRER flows count each
+	// sequence number once: the member-stream replica is redundancy,
+	// not offered load.
 	sent map[uint32]uint64
 	seq  map[uint32]uint32
+
+	// replicate maps flow ID → alternate VID for 802.1CB talker-side
+	// replication; replicas counts the extra member-stream frames.
+	replicate map[uint32]uint16
+	replicas  uint64
+
+	// recovery, when set, is the listener-side 802.1CB sequence
+	// recovery run on every arriving frame before the collector.
+	recovery *frer.Table
 
 	// stopAt bounds generation (0 = unbounded).
 	stopAt sim.Time
@@ -65,9 +77,47 @@ func (n *NIC) SetStopTime(t sim.Time) { n.stopAt = t }
 // Sent returns per-flow transmit counts (live map; read-only use).
 func (n *NIC) Sent() map[uint32]uint64 { return n.sent }
 
-// Receive implements netdev.Receiver: arriving frames go to the
-// analyzer collector.
+// SetReplication enables 802.1CB talker-side replication for flow id:
+// every injected frame is duplicated onto a member stream tagged
+// altVID, which the network forwards along a disjoint path.
+func (n *NIC) SetReplication(id uint32, altVID uint16) {
+	if n.replicate == nil {
+		n.replicate = make(map[uint32]uint16)
+	}
+	n.replicate[id] = altVID
+}
+
+// SetRecovery installs the listener-side sequence-recovery table:
+// arriving frames of registered streams pass the 802.1CB vector
+// recovery function; eliminated duplicates and rogues are reported to
+// the collector as such, never as deliveries.
+func (n *NIC) SetRecovery(t *frer.Table) { n.recovery = t }
+
+// Recovery returns the listener's sequence-recovery table (nil when
+// FRER is not in use).
+func (n *NIC) Recovery() *frer.Table { return n.recovery }
+
+// Replicas returns how many member-stream duplicates this talker
+// emitted.
+func (n *NIC) Replicas() uint64 { return n.replicas }
+
+// Receive implements netdev.Receiver: arriving frames pass sequence
+// recovery (when configured) and then go to the analyzer collector.
 func (n *NIC) Receive(f *ethernet.Frame, on *netdev.Ifc) {
+	if n.recovery != nil {
+		switch n.recovery.Accept(f.FlowID, f.Seq) {
+		case frer.Duplicate:
+			if n.Collector != nil {
+				n.Collector.NoteDuplicate(f.FlowID)
+			}
+			return
+		case frer.Rogue:
+			if n.Collector != nil {
+				n.Collector.NoteRogue(f.FlowID)
+			}
+			return
+		}
+	}
 	if n.Collector != nil {
 		n.Collector.Record(f, n.engine.Now())
 	}
@@ -127,6 +177,17 @@ func (n *NIC) inject(spec *flows.Spec) {
 	}
 	ci := classIndex(spec.Class)
 	n.fifos[ci] = append(n.fifos[ci], f)
+	// 802.1CB replication: the member stream is the same frame (same
+	// FlowID, same sequence number) tagged with the alternate VID, so
+	// the network's forwarding tables steer it onto the disjoint path.
+	// It serializes back-to-back behind the primary and is NOT counted
+	// in sent: the analyzer's loss accounting is per logical frame.
+	if altVID, ok := n.replicate[spec.ID]; ok {
+		r := f.Clone()
+		r.VID = altVID
+		n.fifos[ci] = append(n.fifos[ci], r)
+		n.replicas++
+	}
 	n.drain()
 }
 

@@ -9,19 +9,19 @@ import (
 // Metric names exported by the switch dataplane. Label sets:
 // switch, and where noted port / queue / reason / dir.
 const (
-	MetricRxFrames   = "tsn_switch_rx_frames_total"        // {switch}
-	MetricTxFrames   = "tsn_switch_tx_frames_total"        // {switch}
-	MetricDrops      = "tsn_switch_drops_total"            // {switch,reason}
-	MetricEnqueues   = "tsn_queue_enqueues_total"          // {switch,port,queue}
-	MetricQueueHW    = "tsn_queue_depth_high_water"        // {switch,port,queue}
-	MetricPoolOcc    = "tsn_pool_occupancy"                // {switch,port}
-	MetricPoolHW     = "tsn_pool_high_water"               // {switch,port}
-	MetricPoolFails  = "tsn_pool_alloc_failures_total"     // {switch,port}
-	MetricRollovers  = "tsn_gate_rollovers_total"          // {switch,port,dir}
-	MetricMeterPass  = "tsn_meter_passed_total"            // {switch}
-	MetricMeterDrop  = "tsn_meter_dropped_total"           // {switch}
-	MetricResidence  = "tsn_queue_residence_ns"            // {switch}
-	MetricPreemption = "tsn_switch_preemptions_total"      // {switch}
+	MetricRxFrames   = "tsn_switch_rx_frames_total"    // {switch}
+	MetricTxFrames   = "tsn_switch_tx_frames_total"    // {switch}
+	MetricDrops      = "tsn_switch_drops_total"        // {switch,reason}
+	MetricEnqueues   = "tsn_queue_enqueues_total"      // {switch,port,queue}
+	MetricQueueHW    = "tsn_queue_depth_high_water"    // {switch,port,queue}
+	MetricPoolOcc    = "tsn_pool_occupancy"            // {switch,port}
+	MetricPoolHW     = "tsn_pool_high_water"           // {switch,port}
+	MetricPoolFails  = "tsn_pool_alloc_failures_total" // {switch,port}
+	MetricRollovers  = "tsn_gate_rollovers_total"      // {switch,port,dir}
+	MetricMeterPass  = "tsn_meter_passed_total"        // {switch}
+	MetricMeterDrop  = "tsn_meter_dropped_total"       // {switch}
+	MetricResidence  = "tsn_queue_residence_ns"        // {switch}
+	MetricPreemption = "tsn_switch_preemptions_total"  // {switch}
 )
 
 // ResidenceBounds is the egress queue-residence bucket layout:

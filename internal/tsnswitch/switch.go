@@ -185,6 +185,14 @@ func (sw *Switch) SetPortSchedules(p int, in, out gate.Schedule) error {
 	return nil
 }
 
+// PortSchedules returns port p's current in/out gate schedules, so a
+// caller replacing them (reconfiguration, fault injection) can restore
+// the originals afterwards.
+func (sw *Switch) PortSchedules(p int) (in, out gate.Schedule) {
+	port := sw.Port(p)
+	return port.inGCL, port.outGCL
+}
+
 // localTime returns the Gate Ctrl time base: the synchronized local
 // clock reading.
 func (sw *Switch) localTime() sim.Time { return sw.Clock.Now(sw.engine.Now()) }

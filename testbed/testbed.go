@@ -17,7 +17,9 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/clock"
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
 	"github.com/tsnbuilder/tsnbuilder/internal/gate"
 	"github.com/tsnbuilder/tsnbuilder/internal/gptp"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
@@ -70,6 +72,11 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Seed drives clock drift assignment.
 	Seed uint64
+	// Faults, when non-nil, schedules the fault scenario on the built
+	// network. Fault times (at_us) are absolute simulation time, so with
+	// gPTP the warmup window counts too. The seed for probabilistic
+	// impairments is Seed unless the scenario carries its own.
+	Faults *faults.Scenario
 }
 
 // Net is a built network ready to run.
@@ -82,6 +89,7 @@ type Net struct {
 	Tracer    *trace.Recorder   // nil unless EnableTrace
 	Capture   *pcap.Writer      // nil unless Options.Pcap set
 	Metrics   *metrics.Registry // nil unless Options.Metrics set
+	Injector  *faults.Injector  // nil unless Options.Faults set
 
 	opts  Options
 	specs []*flows.Spec
@@ -205,7 +213,48 @@ func Build(opts Options) (*Net, error) {
 	if err := n.program(); err != nil {
 		return nil, err
 	}
+
+	// Fault scenario: resolve selectors against the built network and
+	// schedule every fault (absolute sim time, from now = 0).
+	if opts.Faults != nil {
+		n.Injector = faults.NewInjector(engine, opts.Seed, opts.Metrics)
+		if err := n.Injector.Apply(opts.Faults, n.faultBindings()); err != nil {
+			return nil, err
+		}
+	}
 	return n, nil
+}
+
+// faultBindings maps fault-scenario selectors (switch pairs, hosts,
+// switch IDs) to the live objects the injector manipulates.
+func (n *Net) faultBindings() faults.Bindings {
+	topo := n.opts.Topo
+	return faults.Bindings{
+		TrunkIfc: func(a, b int) (*netdev.Ifc, error) {
+			if a < 0 || a >= len(n.Switches) || b < 0 || b >= len(n.Switches) {
+				return nil, fmt.Errorf("testbed: no switch pair %d-%d", a, b)
+			}
+			p, ok := topo.PortToward(a, b)
+			if !ok {
+				return nil, fmt.Errorf("testbed: no trunk %d-%d", a, b)
+			}
+			return n.Switches[a].Ifc(p), nil
+		},
+		HostIfc: func(host int) (*netdev.Ifc, error) {
+			nic, ok := n.NICs[host]
+			if !ok {
+				return nil, fmt.Errorf("testbed: no host %d", host)
+			}
+			return nic.Ifc(), nil
+		},
+		Switch: func(id int) (*tsnswitch.Switch, error) {
+			if id < 0 || id >= len(n.Switches) {
+				return nil, fmt.Errorf("testbed: no switch %d", id)
+			}
+			return n.Switches[id], nil
+		},
+		Domain: n.Domain,
+	}
 }
 
 // program installs forwarding, classification, meter and CBS state for
@@ -218,6 +267,25 @@ func (n *Net) program() error {
 	// Per (switch, port, queue) reserved RC bandwidth for CBS slopes.
 	type pq struct{ sw, port, q int }
 	reserved := map[pq]ethernet.Rate{}
+
+	// FRER sizing: the sequence-recovery table at each listener holds
+	// every redundant stream the design provisioned (set_frer_tbl), or
+	// at minimum every FRER flow in the workload.
+	nFRER := 0
+	for _, spec := range n.specs {
+		if spec.FRER {
+			nFRER++
+		}
+	}
+	frerCap := design.Config.FRERSize
+	if frerCap < nFRER {
+		frerCap = nFRER
+	}
+	frerHist := design.Config.FRERHistory
+	if frerHist <= 0 {
+		frerHist = frer.DefaultHistory
+	}
+	recovery := map[int]*frer.Table{} // listener host → recovery table
 
 	for i, spec := range n.specs {
 		if len(spec.Path) == 0 {
@@ -239,47 +307,62 @@ func (n *Net) program() error {
 		}
 		dstMAC := ethernet.HostMAC(spec.DstHost)
 
-		for h, swID := range spec.Path {
-			sw := n.Switches[swID]
-			// Egress port: toward the next switch, or the host port.
-			var outPort int
-			if h+1 < len(spec.Path) {
-				p, ok := topo.PortToward(swID, spec.Path[h+1])
-				if !ok {
-					return fmt.Errorf("testbed: flow %d: no trunk %d->%d", spec.ID, swID, spec.Path[h+1])
+		// installPath programs forwarding and classification for one
+		// member path under one VID. withMeter adds RC policing and CBS
+		// bandwidth reservation — primary path only; FRER member streams
+		// are TS and never metered.
+		installPath := func(path []int, vid uint16, withMeter bool) error {
+			for h, swID := range path {
+				sw := n.Switches[swID]
+				// Egress port: toward the next switch, or the host port.
+				var outPort int
+				if h+1 < len(path) {
+					p, ok := topo.PortToward(swID, path[h+1])
+					if !ok {
+						return fmt.Errorf("testbed: flow %d: no trunk %d->%d", spec.ID, swID, path[h+1])
+					}
+					outPort = p
+				} else {
+					if dstAt.Switch != swID {
+						return fmt.Errorf("testbed: flow %d path ends at %d but host is on %d",
+							spec.ID, swID, dstAt.Switch)
+					}
+					outPort = dstAt.Port
 				}
-				outPort = p
-			} else {
-				if dstAt.Switch != swID {
-					return fmt.Errorf("testbed: flow %d path ends at %d but host is on %d",
-						spec.ID, swID, dstAt.Switch)
+				if err := sw.Forward().Unicast.Add(dstMAC, vid, outPort); err != nil {
+					return fmt.Errorf("testbed: flow %d switch %d: %w", spec.ID, swID, err)
 				}
-				outPort = dstAt.Port
-			}
-			if err := sw.Forward().Unicast.Add(dstMAC, spec.VID, outPort); err != nil {
-				return fmt.Errorf("testbed: flow %d switch %d: %w", spec.ID, swID, err)
-			}
-			entry := tables.ClassEntry{QueueID: queueID}
-			if spec.Class == ethernet.ClassRC {
-				entry.MeterID = nextMeter
-				entry.HasMeter = true
-				// The meter must admit the flow's declared burst; the
-				// CBS, not the policer, spreads it (802.1Qav).
-				burst := 4 * spec.WireSize
-				if b := 2 * spec.BurstFrames() * spec.WireSize; b > burst {
-					burst = b
+				entry := tables.ClassEntry{QueueID: queueID}
+				if withMeter {
+					entry.MeterID = nextMeter
+					entry.HasMeter = true
+					// The meter must admit the flow's declared burst; the
+					// CBS, not the policer, spreads it (802.1Qav).
+					burst := 4 * spec.WireSize
+					if b := 2 * spec.BurstFrames() * spec.WireSize; b > burst {
+						burst = b
+					}
+					if err := sw.Filter().Meters.Configure(nextMeter, spec.Rate+spec.Rate/10, burst); err != nil {
+						return fmt.Errorf("testbed: flow %d meter: %w", spec.ID, err)
+					}
+					reserved[pq{swID, outPort, queueID}] += spec.Rate
 				}
-				if err := sw.Filter().Meters.Configure(nextMeter, spec.Rate+spec.Rate/10, burst); err != nil {
-					return fmt.Errorf("testbed: flow %d meter: %w", spec.ID, err)
+				key := tables.ClassKey{
+					Src: ethernet.HostMAC(spec.SrcHost), Dst: dstMAC,
+					VID: vid, PRI: spec.PCP,
 				}
-				reserved[pq{swID, outPort, queueID}] += spec.Rate
+				if err := sw.Filter().Class.Add(key, entry); err != nil {
+					return fmt.Errorf("testbed: flow %d switch %d: %w", spec.ID, swID, err)
+				}
 			}
-			key := tables.ClassKey{
-				Src: ethernet.HostMAC(spec.SrcHost), Dst: dstMAC,
-				VID: spec.VID, PRI: spec.PCP,
-			}
-			if err := sw.Filter().Class.Add(key, entry); err != nil {
-				return fmt.Errorf("testbed: flow %d switch %d: %w", spec.ID, swID, err)
+			return nil
+		}
+		if err := installPath(spec.Path, spec.VID, spec.Class == ethernet.ClassRC); err != nil {
+			return err
+		}
+		if spec.FRER {
+			if err := n.programFRER(spec, recovery, frerCap, frerHist, installPath); err != nil {
+				return err
 			}
 		}
 		if spec.Class == ethernet.ClassRC {
@@ -339,6 +422,52 @@ func (n *Net) program() error {
 				metrics.L("queue", strconv.Itoa(cell.q)),
 			))
 		}
+	}
+	return nil
+}
+
+// programFRER wires one 802.1CB redundant flow: the member stream's
+// forwarding/classification entries along the disjoint alternate path
+// (same destination MAC, alternate VID), talker-side replication at the
+// source NIC, and listener-side sequence recovery at the destination
+// NIC. installPath is the per-path programmer from program().
+func (n *Net) programFRER(spec *flows.Spec, recovery map[int]*frer.Table,
+	capacity, history int, installPath func(path []int, vid uint16, withMeter bool) error) error {
+	if len(spec.AltPath) == 0 {
+		return fmt.Errorf("testbed: FRER flow %d alternate path not bound", spec.ID)
+	}
+	if err := installPath(spec.AltPath, spec.AltVID, false); err != nil {
+		return err
+	}
+	src, ok := n.NICs[spec.SrcHost]
+	if !ok {
+		return fmt.Errorf("testbed: FRER flow %d source host %d has no NIC", spec.ID, spec.SrcHost)
+	}
+	src.SetReplication(spec.ID, spec.AltVID)
+
+	dst, ok := n.NICs[spec.DstHost]
+	if !ok {
+		return fmt.Errorf("testbed: FRER flow %d destination host %d has no NIC", spec.ID, spec.DstHost)
+	}
+	tbl := recovery[spec.DstHost]
+	if tbl == nil {
+		tbl = frer.NewTable(capacity, history)
+		if n.Metrics != nil {
+			n.Metrics.Help(frer.MetricPassed, "frames passed by 802.1CB sequence recovery")
+			n.Metrics.Help(frer.MetricEliminated, "duplicate member-stream frames eliminated")
+			n.Metrics.Help(frer.MetricRogue, "out-of-window frames discarded as rogue")
+			l := metrics.L("host", strconv.Itoa(spec.DstHost))
+			tbl.Instrument(
+				n.Metrics.Counter(frer.MetricPassed, l),
+				n.Metrics.Counter(frer.MetricEliminated, l),
+				n.Metrics.Counter(frer.MetricRogue, l),
+			)
+		}
+		recovery[spec.DstHost] = tbl
+		dst.SetRecovery(tbl)
+	}
+	if err := tbl.Register(spec.ID); err != nil {
+		return fmt.Errorf("testbed: FRER flow %d: %w", spec.ID, err)
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ package tsnbuilder
 import (
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/itp"
 	"github.com/tsnbuilder/tsnbuilder/internal/resource"
@@ -73,6 +74,14 @@ type (
 	Rate = ethernet.Rate
 	// Class is a TSN traffic class.
 	Class = ethernet.Class
+)
+
+// Fault injection (robustness testing).
+type (
+	// FaultScenario is a deterministic fault script for the testbed.
+	FaultScenario = faults.Scenario
+	// Fault is one scheduled fault within a scenario.
+	Fault = faults.Fault
 )
 
 // Time and rate units.
@@ -136,6 +145,11 @@ func Star(children int) *Topology { return topology.Star(children) }
 // Ring builds an n-switch unidirectional ring.
 func Ring(n int) *Topology { return topology.Ring(n) }
 
+// RingBidir builds an n-switch bidirectional ring — the topology class
+// with two disjoint paths between any switch pair, which 802.1CB FRER
+// needs for seamless redundancy.
+func RingBidir(n int) *Topology { return topology.RingBidir(n) }
+
 // Linear builds an n-switch bidirectional chain.
 func Linear(n int) *Topology { return topology.Linear(n) }
 
@@ -154,3 +168,7 @@ func Background(id uint32, class Class, src, dst int, vid uint16, rate Rate) *Fl
 func PlanITP(specs []*FlowSpec, slot Time) (*Plan, error) {
 	return itp.Compute(specs, slot, nil)
 }
+
+// LoadFaultScenario reads and validates a fault-scenario JSON file for
+// testbed.Options.Faults.
+func LoadFaultScenario(path string) (*FaultScenario, error) { return faults.Load(path) }
