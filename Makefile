@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short race vet bench fuzz examples reproduce clean
+.PHONY: all build test short race vet lint bench fuzz examples reproduce clean
 
 all: build vet test
 
@@ -19,6 +19,17 @@ race:
 vet:
 	go vet ./...
 
+# lint = vet + gofmt, plus staticcheck when it is on PATH (CI installs
+# it; local runs degrade gracefully without network access).
+lint: vet
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 bench:
 	go test -bench=. -benchmem .
 
@@ -29,7 +40,7 @@ fuzz:
 examples:
 	@for ex in quickstart ring-industrial star-production-cell \
 	            platform-compare tas-lowlatency reconfigure gptp-failover \
-	            ring-frer-failover; do \
+	            ring-frer-failover live-reconfigure; do \
 		echo "=== $$ex ==="; go run ./examples/$$ex || exit 1; \
 	done
 

@@ -16,6 +16,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/faults"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/topology"
 	"github.com/tsnbuilder/tsnbuilder/internal/trace"
@@ -48,6 +50,8 @@ type runOpts struct {
 	gptp     bool
 	seed     uint64
 	faults   string
+	reconfig string
+	deadline time.Duration
 
 	csvPath     string
 	pcapPath    string
@@ -72,6 +76,8 @@ func main() {
 	noGPTP := flag.Bool("no-gptp", false, "run with perfect clocks instead of gPTP")
 	flag.Uint64Var(&o.seed, "seed", 42, "workload seed")
 	flag.StringVar(&o.faults, "faults", "", "fault-scenario JSON file to inject during the run")
+	flag.StringVar(&o.reconfig, "reconfig", "", "live-reconfiguration JSON file to apply mid-run")
+	flag.DurationVar(&o.deadline, "deadline", 0, "abort with a diagnostic if the run exceeds this wall-clock time (e.g. 30s)")
 	flag.StringVar(&o.csvPath, "csv", "", "write per-flow statistics to this CSV file")
 	flag.StringVar(&o.pcapPath, "pcap", "", "write delivered frames to this pcap file")
 	flag.BoolVar(&o.hotspots, "hotspots", false, "trace the dataplane and print the worst queue-residence cells")
@@ -158,6 +164,111 @@ func writeMetrics(reg *metrics.Registry, path string, asJSON bool) error {
 		return snap.WriteJSON(w)
 	}
 	return snap.WritePrometheus(w)
+}
+
+// exit is swapped out by tests; the deadline guard calls it with a
+// non-zero status from the simulation thread.
+var exit = os.Exit
+
+// reconfigSpec is the on-disk form of a -reconfig request: the instant
+// to begin the transaction plus per-field overrides of the running
+// configuration. Absent fields keep their live values. Structural
+// parameters (queue_num, port_num, link_rate) are deliberately not
+// representable — changing them requires regeneration, which the
+// engine would reject anyway.
+type reconfigSpec struct {
+	AtUs          int64  `json:"at_us"`
+	UnicastSize   *int   `json:"unicast_size"`
+	MulticastSize *int   `json:"multicast_size"`
+	ClassSize     *int   `json:"class_size"`
+	MeterSize     *int   `json:"meter_size"`
+	GateSize      *int   `json:"gate_size"`
+	CBSMapSize    *int   `json:"cbs_map_size"`
+	CBSSize       *int   `json:"cbs_size"`
+	QueueDepth    *int   `json:"queue_depth"`
+	BufferNum     *int   `json:"buffer_num"`
+	FRERSize      *int   `json:"frer_size"`
+	FRERHistory   *int   `json:"frer_history"`
+	SlotUs        *int64 `json:"slot_us"`
+}
+
+// loadReconfigSpec parses path strictly: unknown fields and a negative
+// begin time are rejected here, before the simulation is built.
+func loadReconfigSpec(path string) (*reconfigSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var rs reconfigSpec
+	if err := dec.Decode(&rs); err != nil {
+		return nil, fmt.Errorf("reconfig spec %s: %w", path, err)
+	}
+	if rs.AtUs < 0 {
+		return nil, fmt.Errorf("reconfig spec %s: negative at_us %d", path, rs.AtUs)
+	}
+	return &rs, nil
+}
+
+// candidate overlays the spec's overrides on the live configuration.
+func (rs *reconfigSpec) candidate(cfg core.Config) core.Config {
+	setInt := func(dst *int, src *int) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setInt(&cfg.UnicastSize, rs.UnicastSize)
+	setInt(&cfg.MulticastSize, rs.MulticastSize)
+	setInt(&cfg.ClassSize, rs.ClassSize)
+	setInt(&cfg.MeterSize, rs.MeterSize)
+	setInt(&cfg.GateSize, rs.GateSize)
+	setInt(&cfg.CBSMapSize, rs.CBSMapSize)
+	setInt(&cfg.CBSSize, rs.CBSSize)
+	setInt(&cfg.QueueDepth, rs.QueueDepth)
+	setInt(&cfg.BufferNum, rs.BufferNum)
+	setInt(&cfg.FRERSize, rs.FRERSize)
+	setInt(&cfg.FRERHistory, rs.FRERHistory)
+	if rs.SlotUs != nil {
+		cfg.SlotSize = sim.Time(*rs.SlotUs) * sim.Microsecond
+	}
+	return cfg
+}
+
+// scheduleReconfig arms the -reconfig transaction on the running
+// network and returns a reporter to call once the simulation ends.
+func scheduleReconfig(net *testbed.Net, rs *reconfigSpec) (report func()) {
+	at := sim.Time(rs.AtUs) * sim.Microsecond
+	var txn *reconfig.Txn
+	var beginErr error
+	net.Engine.At(at, "live-reconfig", func(*sim.Engine) {
+		txn, beginErr = net.Reconfigure(rs.candidate(net.LiveConfig()))
+	})
+	return func() {
+		switch {
+		case beginErr != nil:
+			fmt.Printf("reconfig: rejected: %v\n", beginErr)
+		case txn == nil:
+			fmt.Printf("reconfig: begin time %v is outside the run; nothing applied\n", at)
+		case txn.State() == reconfig.StateCommitted:
+			fmt.Printf("reconfig: committed at %v (%d ops)\n", txn.CommitTime(), len(txn.Ops()))
+		case txn.State() == reconfig.StateRolledBack:
+			fmt.Printf("reconfig: rolled back: %v\n", txn.Err())
+		default:
+			fmt.Printf("reconfig: unresolved at simulation end (state %v)\n", txn.State())
+		}
+	}
+}
+
+// deadlineDiagnostic renders the dump printed when the -deadline guard
+// trips: how far simulated time got and how much work remained queued,
+// so a hung or exploding scenario is diagnosable from the abort alone.
+func deadlineDiagnostic(limit time.Duration, now sim.Time, executed uint64, pending int) string {
+	return fmt.Sprintf("tsnsim: wall-clock deadline %v exceeded\n"+
+		"  sim time reached:  %v\n"+
+		"  events executed:   %d\n"+
+		"  event-queue depth: %d\n", limit, now, executed, pending)
 }
 
 // writeCSV dumps one row per flow for external plotting.
@@ -265,6 +376,12 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 			return nil, err
 		}
 	}
+	var rspec *reconfigSpec
+	if o.reconfig != "" {
+		if rspec, err = loadReconfigSpec(o.reconfig); err != nil {
+			return nil, err
+		}
+	}
 	// The registry is always built: the exit summary reads it even when
 	// no export flag is set, and instrumented forwarding costs ~nothing.
 	reg := metrics.New()
@@ -278,13 +395,26 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 	if err != nil {
 		return nil, err
 	}
-	if o.progress > 0 {
-		last := time.Now()
+	reportReconfig := func() {}
+	if rspec != nil {
+		reportReconfig = scheduleReconfig(net, rspec)
+	}
+	if o.progress > 0 || o.deadline > 0 {
+		guardStart := time.Now()
+		last := guardStart
 		var lastExec uint64
+		tripped := false
 		// Check wall time every 64k events: cheap against µs-scale
-		// event costs, responsive against second-scale intervals.
+		// event costs, responsive against second-scale intervals. The
+		// deadline guard runs on the simulation thread, so the dump is
+		// consistent with the instant it fires.
 		net.Engine.SetProgress(1<<16, func(executed uint64, now sim.Time) {
-			if time.Since(last) < o.progress {
+			if o.deadline > 0 && !tripped && time.Since(guardStart) > o.deadline {
+				tripped = true
+				fmt.Fprint(os.Stderr, deadlineDiagnostic(o.deadline, now, executed, net.Engine.Pending()))
+				exit(2)
+			}
+			if o.progress <= 0 || time.Since(last) < o.progress {
 				return
 			}
 			rate := float64(executed-lastExec) / time.Since(last).Seconds()
@@ -315,6 +445,7 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 			fmt.Printf("    deadline misses: %d\n", s.DeadlineMisses)
 		}
 	}
+	reportReconfig()
 	st := net.SwitchStats()
 	fmt.Printf("switches: rx=%d tx=%d drops=%d (no-route=%d meter=%d gate=%d buffer=%d queue=%d)\n",
 		st.RxFrames, st.TxFrames, st.TotalDrops(),

@@ -44,6 +44,14 @@ type Pool struct {
 	// injector (transient buffer exhaustion). Reserved slots are
 	// neither free nor in use, so leak accounting ignores them.
 	reserved []int
+	// created is the total number of slot ids ever minted; Resize mints
+	// fresh ids on growth instead of reusing retired ones, so a stale
+	// Free of a retired slot is always detectable.
+	created int
+	// retired marks slot ids removed by a shrink; nil until first use.
+	retired map[int]bool
+	// leaked counts slots deliberately lost via Leak (fault injection).
+	leaked int
 
 	// Telemetry handles; zero values are no-ops.
 	metOcc  metrics.Gauge
@@ -56,7 +64,7 @@ func NewPool(capacity int) *Pool {
 	if capacity < 0 {
 		panic("buffering: negative pool capacity")
 	}
-	p := &Pool{capacity: capacity, free: make([]int, capacity)}
+	p := &Pool{capacity: capacity, free: make([]int, capacity), created: capacity}
 	for i := range p.free {
 		p.free[i] = capacity - 1 - i // pop order 0,1,2,...
 	}
@@ -111,8 +119,11 @@ func (p *Pool) Alloc(wireBytes int) (slot int, ok bool) {
 
 // Free releases a slot back to the pool.
 func (p *Pool) Free(slot int) {
-	if slot < 0 || slot >= p.capacity {
+	if slot < 0 || slot >= p.created {
 		panic(fmt.Sprintf("buffering: Free of invalid slot %d", slot))
+	}
+	if p.retired[slot] {
+		panic(fmt.Sprintf("buffering: Free of retired slot %d", slot))
 	}
 	for _, f := range p.free {
 		if f == slot {
@@ -155,6 +166,67 @@ func (p *Pool) ReleaseReserved() int {
 // Reserved returns how many slots are currently withheld.
 func (p *Pool) Reserved() int { return len(p.reserved) }
 
+// Resize changes the pool capacity in place — the live-reconfiguration
+// primitive behind set_buffers. Growth mints fresh slot ids; shrink
+// retires free slots only, so it fails if the new capacity cannot cover
+// the slots currently allocated or reserved. In-flight frames keep
+// their (possibly high-numbered) slot ids and Free them normally after
+// a shrink.
+func (p *Pool) Resize(capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("buffering: negative pool capacity %d", capacity)
+	}
+	if need := p.inUse + len(p.reserved); capacity < need {
+		return fmt.Errorf("buffering: cannot shrink pool to %d: %d slots live (%d in use, %d reserved)",
+			capacity, need, p.inUse, len(p.reserved))
+	}
+	if capacity < p.capacity {
+		// The free list holds capacity-inUse-reserved slots, which the
+		// check above guarantees is at least the number to retire.
+		for i := p.capacity - capacity; i > 0; i-- {
+			slot := p.free[len(p.free)-1]
+			p.free = p.free[:len(p.free)-1]
+			if p.retired == nil {
+				p.retired = make(map[int]bool)
+			}
+			p.retired[slot] = true
+		}
+	} else {
+		for i := p.capacity; i < capacity; i++ {
+			p.free = append(p.free, p.created)
+			p.created++
+		}
+	}
+	p.capacity = capacity
+	return nil
+}
+
+// Leak deliberately loses up to n free slots: they are removed from the
+// free list and counted in use, but no owner will ever Free them — the
+// fault-injection model for a buffer leak the invariant watchdog must
+// catch. Returns how many slots were actually leaked.
+func (p *Pool) Leak(n int) int {
+	if n < 0 {
+		panic("buffering: negative Leak")
+	}
+	taken := 0
+	for taken < n && len(p.free) > 0 {
+		p.free = p.free[:len(p.free)-1]
+		p.inUse++
+		taken++
+	}
+	p.leaked += taken
+	if p.inUse > p.highWater {
+		p.highWater = p.inUse
+	}
+	p.metOcc.Set(int64(p.inUse))
+	p.metHW.SetMax(int64(p.inUse))
+	return taken
+}
+
+// Leaked returns how many slots have been lost via Leak.
+func (p *Pool) Leaked() int { return p.leaked }
+
 // Queue is a fixed-depth FIFO of descriptors: the hardware per-queue
 // metadata memory.
 type Queue struct {
@@ -194,6 +266,26 @@ func (q *Queue) HighWater() int { return q.highWater }
 
 // Rejects returns the number of failed pushes.
 func (q *Queue) Rejects() uint64 { return q.rejects }
+
+// Resize changes the queue depth in place, preserving queued
+// descriptors in FIFO order — the live-reconfiguration primitive behind
+// set_queues. It fails if the current occupancy exceeds the new depth.
+func (q *Queue) Resize(depth int) error {
+	if depth <= 0 {
+		return fmt.Errorf("buffering: non-positive queue depth %d", depth)
+	}
+	if q.count > depth {
+		return fmt.Errorf("buffering: cannot shrink queue to %d: %d descriptors queued", depth, q.count)
+	}
+	ring := make([]Descriptor, depth)
+	for i := 0; i < q.count; i++ {
+		ring[i] = q.ring[(q.head+i)%q.depth]
+	}
+	q.ring = ring
+	q.head = 0
+	q.depth = depth
+	return nil
+}
 
 // Push appends d. It reports false (and drops) when the queue is full.
 func (q *Queue) Push(d Descriptor) bool {

@@ -42,6 +42,54 @@ func TestDiffConfigsReportsEveryField(t *testing.T) {
 	}
 }
 
+// TestDiffConfigsPerField exercises every resource class one field at
+// a time: each change must produce exactly one diff line naming the
+// owning customization API and the field.
+func TestDiffConfigsPerField(t *testing.T) {
+	base := PaperCustomizedConfig(1)
+	base.FRERSize, base.FRERHistory = 8, 16 // so FRER fields have a baseline
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		api    string
+		field  string
+	}{
+		{"unicast", func(c *Config) { c.UnicastSize++ }, "set_switch_tbl", "unicast_size"},
+		{"multicast", func(c *Config) { c.MulticastSize++ }, "set_switch_tbl", "multicast_size"},
+		{"class", func(c *Config) { c.ClassSize++ }, "set_class_tbl", "class_size"},
+		{"meter", func(c *Config) { c.MeterSize++ }, "set_meter_tbl", "meter_size"},
+		{"gate", func(c *Config) { c.GateSize++ }, "set_gate_tbl", "gate_size"},
+		{"queue_num", func(c *Config) { c.QueueNum++ }, "set_gate_tbl/set_queues", "queue_num"},
+		{"port_num", func(c *Config) { c.PortNum++ }, "per-port APIs", "port_num"},
+		{"cbs_map", func(c *Config) { c.CBSMapSize++ }, "set_cbs_tbl", "cbs_map_size"},
+		{"cbs", func(c *Config) { c.CBSSize++ }, "set_cbs_tbl", "cbs_size"},
+		{"queue_depth", func(c *Config) { c.QueueDepth++ }, "set_queues", "queue_depth"},
+		{"buffer_num", func(c *Config) { c.BufferNum++ }, "set_buffers", "buffer_num"},
+		{"frer_size", func(c *Config) { c.FRERSize++ }, "set_frer_tbl", "frer_size"},
+		{"frer_history", func(c *Config) { c.FRERHistory++ }, "set_frer_tbl", "history_len"},
+		{"slot_size", func(c *Config) { c.SlotSize *= 2 }, "timing", "slot_size"},
+		{"link_rate", func(c *Config) { c.LinkRate /= 2 }, "timing", "link_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := base
+			tc.mutate(&mutated)
+			d := DiffConfigs(base, mutated)
+			if len(d) != 1 {
+				t.Fatalf("diff = %v, want exactly 1 line", d)
+			}
+			if !strings.Contains(d[0], tc.api) || !strings.Contains(d[0], tc.field) {
+				t.Fatalf("line %q missing %q / %q", d[0], tc.api, tc.field)
+			}
+			// Symmetry: the reverse diff reports the same field.
+			r := DiffConfigs(mutated, base)
+			if len(r) != 1 || !strings.Contains(r[0], tc.field) {
+				t.Fatalf("reverse diff = %v", r)
+			}
+		})
+	}
+}
+
 func TestDiffConfigsScenarioEvolution(t *testing.T) {
 	// The paper's rapid-reconfiguration pitch: doubling the flow count
 	// touches only the table sizes and queue/buffer provisioning, not

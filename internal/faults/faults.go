@@ -45,15 +45,18 @@ const (
 	KindNodeKill      = "node-kill"      // silent gPTP node death: switch
 	KindBufferExhaust = "buffer-exhaust" // pool starvation: switch, port, slots, duration_us
 	KindGateClose     = "gate-close"     // TS gates stuck closed: switch, port, duration_us
+	KindBufferLeak    = "buffer-leak"    // permanent slot loss: switch, port, slots
+	KindReconfigFail  = "reconfig-fail"  // fail next reconfig commit mid-apply: op
 )
 
 // kinds lists every kind once, in the fixed order used for metric
 // registration (determinism: registration order must not depend on the
-// scenario content).
+// scenario content). New kinds append at the end so existing metric
+// orderings never shift.
 var kinds = []string{
 	KindLinkDown, KindLinkUp, KindLinkFlap, KindLinkLoss, KindLinkCorrupt,
 	KindClockStep, KindClockDrift, KindGMKill, KindNodeKill,
-	KindBufferExhaust, KindGateClose,
+	KindBufferExhaust, KindGateClose, KindBufferLeak, KindReconfigFail,
 }
 
 // Metric names.
@@ -108,8 +111,12 @@ type Fault struct {
 	// frequency error.
 	StepNs   int64 `json:"step_ns,omitempty"`
 	DriftPPB int64 `json:"drift_ppb,omitempty"`
-	// Slots is how many buffer slots the exhaustion fault withholds.
+	// Slots is how many buffer slots the exhaustion or leak fault
+	// removes from service.
 	Slots int `json:"slots,omitempty"`
+	// Op is the staged-operation index a reconfig-fail fault arms: the
+	// next reconfiguration commit fails right before that operation.
+	Op *int `json:"op,omitempty"`
 }
 
 // Load reads a scenario file.
@@ -151,9 +158,64 @@ func (sc *Scenario) Validate() error {
 	return nil
 }
 
+// allowedFields whitelists, per kind, the selector/parameter fields a
+// fault may set. Validation rejects any other populated field with a
+// descriptive error: a misplaced "prob" on a link-down fault is a
+// scenario bug, not something to silently ignore.
+var allowedFields = map[string]map[string]bool{
+	KindLinkDown:      {"a": true, "b": true, "host": true},
+	KindLinkUp:        {"a": true, "b": true, "host": true},
+	KindLinkFlap:      {"a": true, "b": true, "host": true, "period_us": true, "count": true},
+	KindLinkLoss:      {"a": true, "b": true, "host": true, "prob": true, "duration_us": true},
+	KindLinkCorrupt:   {"a": true, "b": true, "host": true, "prob": true, "duration_us": true},
+	KindClockStep:     {"switch": true, "step_ns": true},
+	KindClockDrift:    {"switch": true, "drift_ppb": true},
+	KindGMKill:        {},
+	KindNodeKill:      {"switch": true},
+	KindBufferExhaust: {"switch": true, "port": true, "slots": true, "duration_us": true},
+	KindGateClose:     {"switch": true, "port": true, "duration_us": true},
+	KindBufferLeak:    {"switch": true, "port": true, "slots": true},
+	KindReconfigFail:  {"op": true},
+}
+
+// presentFields lists the optional fields this fault populates, by
+// JSON name. Pointer fields count when non-nil, value fields when
+// non-zero (their zero values are indistinguishable from absent).
+func (f *Fault) presentFields() []string {
+	var out []string
+	add := func(name string, set bool) {
+		if set {
+			out = append(out, name)
+		}
+	}
+	add("a", f.A != nil)
+	add("b", f.B != nil)
+	add("host", f.Host != nil)
+	add("switch", f.Switch != nil)
+	add("port", f.Port != nil)
+	add("duration_us", f.DurationUs != 0)
+	add("period_us", f.PeriodUs != 0)
+	add("count", f.Count != 0)
+	add("prob", f.Prob != 0)
+	add("step_ns", f.StepNs != 0)
+	add("drift_ppb", f.DriftPPB != 0)
+	add("slots", f.Slots != 0)
+	add("op", f.Op != nil)
+	return out
+}
+
 func (f *Fault) validate() error {
 	if f.AtUs < 0 {
 		return fmt.Errorf("negative at_us %d", f.AtUs)
+	}
+	allowed, known := allowedFields[f.Kind]
+	if !known {
+		return fmt.Errorf("unknown kind %q", f.Kind)
+	}
+	for _, field := range f.presentFields() {
+		if !allowed[field] {
+			return fmt.Errorf("field %q is not valid for kind %q", field, f.Kind)
+		}
 	}
 	needLink := func() error {
 		hasTrunk := f.A != nil && f.B != nil
@@ -216,6 +278,17 @@ func (f *Fault) validate() error {
 		if f.Port == nil || f.DurationUs <= 0 {
 			return fmt.Errorf("gate-close needs port and positive duration_us")
 		}
+	case KindBufferLeak:
+		if err := needSwitch(); err != nil {
+			return err
+		}
+		if f.Port == nil || f.Slots <= 0 {
+			return fmt.Errorf("buffer-leak needs port and positive slots")
+		}
+	case KindReconfigFail:
+		if f.Op != nil && *f.Op < 0 {
+			return fmt.Errorf("reconfig-fail op %d negative", *f.Op)
+		}
 	default:
 		return fmt.Errorf("unknown kind %q", f.Kind)
 	}
@@ -235,6 +308,10 @@ type Bindings struct {
 	// Domain is the gPTP domain; nil when time sync is disabled, which
 	// makes gm-kill and node-kill scenario errors.
 	Domain *gptp.Domain
+	// ArmReconfigFail arms a one-shot mid-apply failure of the next
+	// reconfiguration commit, right before staged operation op. Nil
+	// makes reconfig-fail a scenario error.
+	ArmReconfigFail func(op int) error
 }
 
 // Injector schedules a scenario's faults on a simulation engine.
@@ -526,6 +603,37 @@ func (inj *Injector) schedule(f *Fault, at sim.Time, seed uint64, b Bindings) er
 				}
 				inj.markRecovered(KindGateClose)
 			})
+		})
+
+	case KindBufferLeak:
+		sw, err := inj.bindSwitch(f, b)
+		if err != nil {
+			return err
+		}
+		pool := sw.Port(*f.Port).Pool()
+		slots := f.Slots
+		label := fmt.Sprintf("sw%d.p%d", sw.ID(), *f.Port)
+		// A leak never recovers: the slots are gone until the watchdog
+		// (or a human) notices the conservation violation.
+		inj.engine.At(at, "fault:buffer-leak:"+label, func(*sim.Engine) {
+			pool.Leak(slots)
+			inj.markInjected(KindBufferLeak)
+		})
+
+	case KindReconfigFail:
+		if b.ArmReconfigFail == nil {
+			return fmt.Errorf("reconfig-fail without a reconfiguration controller")
+		}
+		arm := b.ArmReconfigFail
+		opIdx := 0
+		if f.Op != nil {
+			opIdx = *f.Op
+		}
+		inj.engine.At(at, "fault:reconfig-fail", func(*sim.Engine) {
+			if err := arm(opIdx); err != nil {
+				panic(fmt.Sprintf("faults: reconfig-fail: %v", err))
+			}
+			inj.markInjected(KindReconfigFail)
 		})
 
 	default:

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseNewKinds covers the buffer-leak and reconfig-fail kinds.
+func TestParseNewKinds(t *testing.T) {
+	sc, err := Parse(strings.NewReader(`{
+		"faults": [
+			{"at_us": 10, "kind": "buffer-leak", "switch": 1, "port": 0, "slots": 4},
+			{"at_us": 20, "kind": "reconfig-fail"},
+			{"at_us": 30, "kind": "reconfig-fail", "op": 2}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Faults) != 3 {
+		t.Fatalf("parsed %d faults", len(sc.Faults))
+	}
+	if sc.Faults[1].Op != nil {
+		t.Fatal("absent op must stay nil")
+	}
+	if sc.Faults[2].Op == nil || *sc.Faults[2].Op != 2 {
+		t.Fatal("op 2 not parsed")
+	}
+}
+
+// TestValidateErrorPaths is the table-driven error-path suite: every
+// rejection must carry a descriptive message naming the problem, so a
+// scenario typo is diagnosable from the error alone.
+func TestValidateErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+	}{
+		{
+			name:    "unknown kind",
+			json:    `{"faults": [{"at_us": 0, "kind": "link-sever"}]}`,
+			wantErr: `unknown kind "link-sever"`,
+		},
+		{
+			name:    "empty kind",
+			json:    `{"faults": [{"at_us": 0}]}`,
+			wantErr: `unknown kind ""`,
+		},
+		{
+			name:    "negative time",
+			json:    `{"faults": [{"at_us": -5, "kind": "gm-kill"}]}`,
+			wantErr: "negative at_us -5",
+		},
+		{
+			name:    "irrelevant prob on link-down",
+			json:    `{"faults": [{"at_us": 0, "kind": "link-down", "a": 0, "b": 1, "prob": 0.5}]}`,
+			wantErr: `field "prob" is not valid for kind "link-down"`,
+		},
+		{
+			name:    "irrelevant switch on link-loss",
+			json:    `{"faults": [{"at_us": 0, "kind": "link-loss", "a": 0, "b": 1, "prob": 0.5, "duration_us": 10, "switch": 2}]}`,
+			wantErr: `field "switch" is not valid for kind "link-loss"`,
+		},
+		{
+			name:    "irrelevant link selector on clock-step",
+			json:    `{"faults": [{"at_us": 0, "kind": "clock-step", "switch": 1, "step_ns": 100, "a": 0}]}`,
+			wantErr: `field "a" is not valid for kind "clock-step"`,
+		},
+		{
+			name:    "irrelevant target on gm-kill",
+			json:    `{"faults": [{"at_us": 0, "kind": "gm-kill", "switch": 3}]}`,
+			wantErr: `field "switch" is not valid for kind "gm-kill"`,
+		},
+		{
+			name:    "irrelevant duration on buffer-leak",
+			json:    `{"faults": [{"at_us": 0, "kind": "buffer-leak", "switch": 0, "port": 0, "slots": 2, "duration_us": 50}]}`,
+			wantErr: `field "duration_us" is not valid for kind "buffer-leak"`,
+		},
+		{
+			name:    "irrelevant op on gate-close",
+			json:    `{"faults": [{"at_us": 0, "kind": "gate-close", "switch": 0, "port": 0, "duration_us": 5, "op": 1}]}`,
+			wantErr: `field "op" is not valid for kind "gate-close"`,
+		},
+		{
+			name:    "irrelevant slots on reconfig-fail",
+			json:    `{"faults": [{"at_us": 0, "kind": "reconfig-fail", "slots": 3}]}`,
+			wantErr: `field "slots" is not valid for kind "reconfig-fail"`,
+		},
+		{
+			name:    "negative reconfig-fail op",
+			json:    `{"faults": [{"at_us": 0, "kind": "reconfig-fail", "op": -1}]}`,
+			wantErr: "reconfig-fail op -1 negative",
+		},
+		{
+			name:    "buffer-leak missing port",
+			json:    `{"faults": [{"at_us": 0, "kind": "buffer-leak", "switch": 0, "slots": 2}]}`,
+			wantErr: "buffer-leak needs port and positive slots",
+		},
+		{
+			name:    "buffer-leak zero slots",
+			json:    `{"faults": [{"at_us": 0, "kind": "buffer-leak", "switch": 0, "port": 0}]}`,
+			wantErr: "buffer-leak needs port and positive slots",
+		},
+		{
+			name:    "buffer-leak missing switch",
+			json:    `{"faults": [{"at_us": 0, "kind": "buffer-leak", "port": 0, "slots": 2}]}`,
+			wantErr: "buffer-leak needs switch",
+		},
+		{
+			name:    "malformed: string where number expected",
+			json:    `{"faults": [{"at_us": "soon", "kind": "gm-kill"}]}`,
+			wantErr: "cannot unmarshal",
+		},
+		{
+			name:    "malformed: unknown json field",
+			json:    `{"faults": [{"at_us": 0, "kind": "gm-kill", "severity": "high"}]}`,
+			wantErr: `unknown field "severity"`,
+		},
+		{
+			name:    "fault index in message",
+			json:    `{"faults": [{"at_us": 0, "kind": "gm-kill"}, {"at_us": 0, "kind": "bogus"}]}`,
+			wantErr: "fault 1",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestEveryKindRejectsForeignField sweeps the whole matrix: for each
+// kind, a field from another kind's vocabulary must be rejected with
+// the field named in the error.
+func TestEveryKindRejectsForeignField(t *testing.T) {
+	foreign := map[string]string{
+		KindLinkDown:      `"slots": 1`,
+		KindLinkUp:        `"step_ns": 1`,
+		KindLinkFlap:      `"prob": 0.5`,
+		KindLinkLoss:      `"count": 2`,
+		KindLinkCorrupt:   `"drift_ppb": 1`,
+		KindClockStep:     `"duration_us": 1`,
+		KindClockDrift:    `"host": 1`,
+		KindGMKill:        `"port": 1`,
+		KindNodeKill:      `"b": 1`,
+		KindBufferExhaust: `"prob": 0.5`,
+		KindGateClose:     `"slots": 1`,
+		KindBufferLeak:    `"op": 1`,
+		KindReconfigFail:  `"switch": 1`,
+	}
+	if len(foreign) != len(kinds) {
+		t.Fatalf("matrix covers %d kinds, package has %d", len(foreign), len(kinds))
+	}
+	for kind, field := range foreign {
+		doc := `{"faults": [{"at_us": 0, "kind": "` + kind + `", ` + field + `}]}`
+		_, err := Parse(strings.NewReader(doc))
+		if err == nil {
+			t.Errorf("%s accepted foreign field %s", kind, field)
+			continue
+		}
+		if !strings.Contains(err.Error(), "is not valid for kind") {
+			t.Errorf("%s: error %q is not a field-validity rejection", kind, err)
+		}
+	}
+}

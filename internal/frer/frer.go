@@ -127,6 +127,28 @@ func (t *Table) Registered(id uint32) bool {
 	return ok
 }
 
+// Resize changes the stream capacity and history window in place,
+// preserving registered streams and their recovery state — the
+// live-reconfiguration primitive behind set_frer_tbl. It fails if the
+// new capacity cannot hold the registered streams or the history is
+// outside [1,MaxHistory]. Shrinking the history narrows the duplicate-
+// detection window for subsequent frames only.
+func (t *Table) Resize(capacity, history int) error {
+	if capacity < 0 {
+		return fmt.Errorf("frer: negative table capacity %d", capacity)
+	}
+	if history < 1 || history > MaxHistory {
+		return fmt.Errorf("frer: history %d out of [1,%d]", history, MaxHistory)
+	}
+	if len(t.streams) > capacity {
+		return fmt.Errorf("frer: cannot shrink table to %d: %d streams registered",
+			capacity, len(t.streams))
+	}
+	t.capacity = capacity
+	t.history = history
+	return nil
+}
+
 // Register allocates a recovery entry for stream id. Registering an
 // already-present stream is a no-op; registering beyond capacity fails.
 func (t *Table) Register(id uint32) error {

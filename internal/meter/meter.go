@@ -131,6 +131,47 @@ func (t *Table) Conform(id int, now sim.Time, wireBytes int) bool {
 	return ok
 }
 
+// Used returns the number of configured meters.
+func (t *Table) Used() int {
+	n := 0
+	for _, u := range t.inUse {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// RequiredCapacity returns the smallest capacity that keeps every
+// configured meter addressable: highest configured id + 1 (0 if none).
+func (t *Table) RequiredCapacity() int {
+	for id := len(t.inUse) - 1; id >= 0; id-- {
+		if t.inUse[id] {
+			return id + 1
+		}
+	}
+	return 0
+}
+
+// Resize changes the table capacity in place, preserving configured
+// meters and their token state — the live-reconfiguration primitive
+// behind set_meter_tbl. It fails if a configured meter id would fall
+// outside the new capacity.
+func (t *Table) Resize(capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("meter: negative capacity %d", capacity)
+	}
+	if req := t.RequiredCapacity(); capacity < req {
+		return fmt.Errorf("meter: cannot shrink table to %d: meter %d is configured", capacity, req-1)
+	}
+	meters := make([]Meter, capacity)
+	inUse := make([]bool, capacity)
+	copy(meters, t.meters)
+	copy(inUse, t.inUse)
+	t.meters, t.inUse = meters, inUse
+	return nil
+}
+
 // Get returns meter id for inspection, or nil if unconfigured.
 func (t *Table) Get(id int) *Meter {
 	if id < 0 || id >= len(t.meters) || !t.inUse[id] {

@@ -1,0 +1,485 @@
+// Package reconfig is the transactional live-reconfiguration engine:
+// it applies a new core.Config to a running switch network through a
+// validate → prepare → commit → rollback lifecycle driven by the
+// discrete-event engine.
+//
+// The paper's development-model claim is that changing the application
+// scenario only means regulating the set_* parameters and re-deriving;
+// this package extends that to a switch that is already forwarding
+// traffic. Validation statically checks the candidate against the
+// platform's builder rules and against in-flight state (a table cannot
+// shrink below its live occupancy, buffers cannot shrink below current
+// reservations); prepare stages one idempotent operation per changed
+// resource class; commit applies them atomically at a CQF cycle
+// boundary so slot alignment is never violated mid-slot; and any
+// mid-apply failure — including one injected through internal/faults —
+// rolls every applied operation back in reverse order, restoring the
+// exact pre-transaction state.
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
+	"github.com/tsnbuilder/tsnbuilder/internal/gate"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+)
+
+// Metric names exported by the reconfiguration engine.
+const (
+	// MetricTxns counts resolved transactions by outcome
+	// {outcome=committed|rejected|rolled-back}.
+	MetricTxns = "tsn_reconfig_txns_total"
+	// MetricOps counts staged operations by result
+	// {result=applied|reverted}.
+	MetricOps = "tsn_reconfig_ops_total"
+)
+
+// State is a transaction's lifecycle position.
+type State int
+
+// Transaction states. A rejected candidate never becomes a Txn: Begin
+// returns the validation error and counts the rejection.
+const (
+	// StatePrepared: validated, operations staged, commit not yet run.
+	StatePrepared State = iota
+	// StateCommitted: every operation applied at the commit instant.
+	StateCommitted
+	// StateRolledBack: a mid-apply failure occurred and every already-
+	// applied operation was reverted in reverse order.
+	StateRolledBack
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StatePrepared:
+		return "prepared"
+	case StateCommitted:
+		return "committed"
+	case StateRolledBack:
+		return "rolled-back"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Bindings connects the engine to the running network's resources. The
+// testbed supplies them; keeping the type here (rather than importing
+// testbed) mirrors faults.Bindings and avoids the import cycle.
+type Bindings struct {
+	// Switches are the live switches the new configuration applies to.
+	Switches []*tsnswitch.Switch
+	// FRER lists the sequence-recovery tables resized by set_frer_tbl
+	// changes, in deterministic order.
+	FRER []*frer.Table
+	// Platform validates the candidate's structural rules; nil selects
+	// the default FPGA platform.
+	Platform core.Platform
+}
+
+// op is one staged reconfiguration step: apply moves a resource from
+// the old to the new configuration, revert restores it exactly.
+type op struct {
+	name   string
+	apply  func() error
+	revert func() error
+}
+
+// Controller owns transaction bookkeeping: metrics, and the fault-
+// injection hook that makes a commit fail mid-apply.
+type Controller struct {
+	engine *sim.Engine
+
+	metCommitted  metrics.Counter
+	metRejected   metrics.Counter
+	metRolledBack metrics.Counter
+	metApplied    metrics.Counter
+	metReverted   metrics.Counter
+
+	// armed/failOp: one-shot injected failure before staged op failOp.
+	armed  bool
+	failOp int
+}
+
+// NewController returns a controller scheduling on engine and counting
+// into reg (nil disables instrumentation).
+func NewController(engine *sim.Engine, reg *metrics.Registry) *Controller {
+	c := &Controller{engine: engine}
+	if reg != nil {
+		reg.Help(MetricTxns, "reconfiguration transactions resolved, by outcome")
+		reg.Help(MetricOps, "reconfiguration operations, by result")
+		c.metCommitted = reg.Counter(MetricTxns, metrics.L("outcome", "committed"))
+		c.metRejected = reg.Counter(MetricTxns, metrics.L("outcome", "rejected"))
+		c.metRolledBack = reg.Counter(MetricTxns, metrics.L("outcome", "rolled-back"))
+		c.metApplied = reg.Counter(MetricOps, metrics.L("result", "applied"))
+		c.metReverted = reg.Counter(MetricOps, metrics.L("result", "reverted"))
+	}
+	return c
+}
+
+// ArmFailure arms a one-shot injected failure: the next commit fails
+// right before staged operation index opIndex (clamped to the staged
+// range), exercising the rollback path. Negative indexes fail before
+// the first operation.
+func (c *Controller) ArmFailure(opIndex int) {
+	if opIndex < 0 {
+		opIndex = 0
+	}
+	c.armed = true
+	c.failOp = opIndex
+}
+
+// takeFailure consumes the armed failure for staged op i of n.
+func (c *Controller) takeFailure(i, n int) bool {
+	if !c.armed {
+		return false
+	}
+	fail := c.failOp
+	if fail >= n {
+		fail = n - 1
+	}
+	if i != fail {
+		return false
+	}
+	c.armed = false
+	return true
+}
+
+// Txn is one prepared reconfiguration transaction.
+type Txn struct {
+	c        *Controller
+	old, new core.Config
+	b        Bindings
+	ops      []op
+	state    State
+	err      error
+
+	scheduled bool
+	commitAt  sim.Time
+	onResolve []func(*Txn)
+}
+
+// Begin validates candidate new against the running state reachable
+// through b and, if it is applicable, returns a prepared transaction.
+// A rejected candidate returns a descriptive error (all problems, not
+// just the first) and counts under outcome="rejected".
+func (c *Controller) Begin(old, new core.Config, b Bindings) (*Txn, error) {
+	if err := validate(old, new, b); err != nil {
+		c.metRejected.Inc()
+		return nil, err
+	}
+	t := &Txn{c: c, old: old, new: new, b: b, state: StatePrepared}
+	t.prepare()
+	return t, nil
+}
+
+// validate statically checks the candidate: structural rules first
+// (the same Builder validation a fresh design passes), then the fields
+// a live switch cannot change, then every live-occupancy constraint.
+func validate(old, new core.Config, b Bindings) error {
+	var errs []error
+	if _, err := core.BuilderFor(new, b.Platform).Build(); err != nil {
+		errs = append(errs, err)
+	}
+	if new.QueueNum != old.QueueNum {
+		errs = append(errs, fmt.Errorf("reconfig: queue_num %d → %d requires regeneration, not live reconfiguration",
+			old.QueueNum, new.QueueNum))
+	}
+	if new.PortNum != old.PortNum {
+		errs = append(errs, fmt.Errorf("reconfig: port_num %d → %d requires regeneration, not live reconfiguration",
+			old.PortNum, new.PortNum))
+	}
+	if new.LinkRate != old.LinkRate {
+		errs = append(errs, fmt.Errorf("reconfig: link_rate %d → %d requires regeneration, not live reconfiguration",
+			old.LinkRate, new.LinkRate))
+	}
+	for _, sw := range b.Switches {
+		id := sw.ID()
+		if n := sw.Forward().Unicast.Len(); n > new.UnicastSize {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d unicast table holds %d entries > candidate size %d",
+				id, n, new.UnicastSize))
+		}
+		if n := sw.Forward().Multicast.Len(); n > new.MulticastSize {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d multicast table holds %d entries > candidate size %d",
+				id, n, new.MulticastSize))
+		}
+		if n := sw.Filter().Class.Len(); n > new.ClassSize {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d classification table holds %d entries > candidate size %d",
+				id, n, new.ClassSize))
+		}
+		if req := sw.Filter().Meters.RequiredCapacity(); req > new.MeterSize {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d meter %d is configured, candidate size %d too small",
+				id, req-1, new.MeterSize))
+		}
+		cfg := sw.Config()
+		for p := 0; p < cfg.Ports; p++ {
+			in, out := sw.PortSchedules(p)
+			if in.Size() > new.GateSize || out.Size() > new.GateSize {
+				errs = append(errs, fmt.Errorf("reconfig: switch %d port %d schedules (%d/%d entries) exceed candidate gate size %d",
+					id, p, in.Size(), out.Size(), new.GateSize))
+			}
+			bank := sw.Bank(p)
+			if bank.MapLen() > new.CBSMapSize {
+				errs = append(errs, fmt.Errorf("reconfig: switch %d port %d has %d CBS bindings > candidate map size %d",
+					id, p, bank.MapLen(), new.CBSMapSize))
+			}
+			if req := bank.RequiredSize(); req > new.CBSSize {
+				errs = append(errs, fmt.Errorf("reconfig: switch %d port %d CBS %d is live, candidate size %d too small",
+					id, p, req-1, new.CBSSize))
+			}
+			pool := sw.Port(p).Pool()
+			if cfg.SharedBufferNum <= 0 {
+				if live := pool.InUse() + pool.Reserved(); live > new.BufferNum {
+					errs = append(errs, fmt.Errorf("reconfig: switch %d port %d holds %d live buffers > candidate buffer_num %d",
+						id, p, live, new.BufferNum))
+				}
+			}
+		}
+		if n := sw.MaxQueueLen(); n > new.QueueDepth {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d queue holds %d descriptors > candidate depth %d",
+				id, n, new.QueueDepth))
+		}
+		if cfg.SharedBufferNum > 0 && new.BufferNum != old.BufferNum {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d uses a shared (SMS) pool; buffer_num is not live-reconfigurable",
+				id))
+		}
+		if new.SlotSize != old.SlotSize && !sw.CQFSchedules() {
+			errs = append(errs, fmt.Errorf("reconfig: switch %d carries synthesized (non-CQF) schedules; slot_size is not live-reconfigurable",
+				id))
+		}
+	}
+	newHist := effectiveHistory(new)
+	for i, tbl := range b.FRER {
+		if tbl.Len() > new.FRERSize {
+			errs = append(errs, fmt.Errorf("reconfig: FRER table %d holds %d streams > candidate frer_size %d",
+				i, tbl.Len(), new.FRERSize))
+		}
+		if new.FRERSize > 0 && (newHist < 1 || newHist > frer.MaxHistory) {
+			errs = append(errs, fmt.Errorf("reconfig: FRER history %d out of [1,%d]", newHist, frer.MaxHistory))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// effectiveHistory resolves the candidate's FRER window: explicit
+// value, or the default when frer_size is set without one.
+func effectiveHistory(cfg core.Config) int {
+	if cfg.FRERHistory != 0 {
+		return cfg.FRERHistory
+	}
+	if cfg.FRERSize > 0 {
+		return frer.DefaultHistory
+	}
+	return 0
+}
+
+// prepare stages one operation per changed resource class, per switch,
+// in deterministic order. Each operation's revert closure restores the
+// exact state its apply replaced.
+func (t *Txn) prepare() {
+	old, new := t.old, t.new
+	for _, sw := range t.b.Switches {
+		sw := sw
+		pfx := fmt.Sprintf("sw%d:", sw.ID())
+		if new.UnicastSize != old.UnicastSize || new.MulticastSize != old.MulticastSize {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_switch_tbl",
+				apply:  func() error { return sw.ResizeSwitchTbl(new.UnicastSize, new.MulticastSize) },
+				revert: func() error { return sw.ResizeSwitchTbl(old.UnicastSize, old.MulticastSize) },
+			})
+		}
+		if new.ClassSize != old.ClassSize {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_class_tbl",
+				apply:  func() error { return sw.ResizeClassTbl(new.ClassSize) },
+				revert: func() error { return sw.ResizeClassTbl(old.ClassSize) },
+			})
+		}
+		if new.MeterSize != old.MeterSize {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_meter_tbl",
+				apply:  func() error { return sw.ResizeMeterTbl(new.MeterSize) },
+				revert: func() error { return sw.ResizeMeterTbl(old.MeterSize) },
+			})
+		}
+		if new.GateSize != old.GateSize {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_gate_tbl",
+				apply:  func() error { return sw.SetGateSize(new.GateSize) },
+				revert: func() error { return sw.SetGateSize(old.GateSize) },
+			})
+		}
+		if new.CBSMapSize != old.CBSMapSize || new.CBSSize != old.CBSSize {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_cbs_tbl",
+				apply:  func() error { return sw.ResizeCBS(new.CBSMapSize, new.CBSSize) },
+				revert: func() error { return sw.ResizeCBS(old.CBSMapSize, old.CBSSize) },
+			})
+		}
+		if new.QueueDepth != old.QueueDepth {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_queues",
+				apply:  func() error { return sw.ResizeQueues(new.QueueDepth) },
+				revert: func() error { return sw.ResizeQueues(old.QueueDepth) },
+			})
+		}
+		if new.BufferNum != old.BufferNum && sw.Config().SharedBufferNum <= 0 {
+			t.ops = append(t.ops, op{
+				name:   pfx + "set_buffers",
+				apply:  func() error { return sw.ResizeBuffers(new.BufferNum) },
+				revert: func() error { return sw.ResizeBuffers(old.BufferNum) },
+			})
+		}
+		if new.SlotSize != old.SlotSize {
+			// Capture the replaced schedules at apply time so revert
+			// restores the exact objects, base alignment included.
+			var savedIn, savedOut []gate.Schedule
+			t.ops = append(t.ops, op{
+				name: pfx + "rebase_slot",
+				apply: func() error {
+					ports := sw.Config().Ports
+					savedIn = make([]gate.Schedule, ports)
+					savedOut = make([]gate.Schedule, ports)
+					for p := 0; p < ports; p++ {
+						savedIn[p], savedOut[p] = sw.PortSchedules(p)
+					}
+					base := sw.Clock.Now(t.c.engine.Now())
+					return sw.RebaseCQF(new.SlotSize, base)
+				},
+				revert: func() error { return sw.RestoreSchedules(old.SlotSize, savedIn, savedOut) },
+			})
+		}
+	}
+	if new.FRERSize != old.FRERSize || effectiveHistory(new) != effectiveHistory(old) {
+		newHist := effectiveHistory(new)
+		for i, tbl := range t.b.FRER {
+			i, tbl := i, tbl
+			oldHist := tbl.History()
+			hist := newHist
+			if hist == 0 {
+				hist = oldHist // frer_size 0: keep the window, only the budget shrinks
+			}
+			t.ops = append(t.ops, op{
+				name:   fmt.Sprintf("frer%d:set_frer_tbl", i),
+				apply:  func() error { return tbl.Resize(new.FRERSize, hist) },
+				revert: func() error { return tbl.Resize(old.FRERSize, oldHist) },
+			})
+		}
+	}
+}
+
+// State returns the transaction's lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Err returns the failure that forced a rollback, or nil.
+func (t *Txn) Err() error { return t.err }
+
+// Old returns the pre-transaction configuration.
+func (t *Txn) Old() core.Config { return t.old }
+
+// New returns the candidate configuration.
+func (t *Txn) New() core.Config { return t.new }
+
+// Ops lists the staged operation names in apply order.
+func (t *Txn) Ops() []string {
+	names := make([]string, len(t.ops))
+	for i, o := range t.ops {
+		names[i] = o.name
+	}
+	return names
+}
+
+// CommitTime returns the scheduled commit instant (zero until
+// scheduled).
+func (t *Txn) CommitTime() sim.Time { return t.commitAt }
+
+// OnResolve registers a callback invoked once, when the transaction
+// commits or rolls back, in registration order.
+func (t *Txn) OnResolve(fn func(*Txn)) { t.onResolve = append(t.onResolve, fn) }
+
+// CommitAtBoundary schedules the commit for the next CQF cycle
+// boundary of the outgoing configuration (cycle = 2 × slot for the
+// two-entry CQF pair) and returns the chosen instant. Committing on a
+// boundary means the slot grid realignment of a slot-size change never
+// truncates an in-progress slot, and every staged table swap lands
+// between slots. Any hyperperiod of the flow set is a multiple of the
+// cycle, so hyperperiod alignment follows from choosing k cycles.
+func (t *Txn) CommitAtBoundary() sim.Time {
+	cycle := 2 * t.old.SlotSize
+	now := t.c.engine.Now()
+	at := now - now%cycle + cycle
+	t.commitSchedule(at)
+	return at
+}
+
+// CommitAt schedules the commit for the absolute instant at.
+func (t *Txn) CommitAt(at sim.Time) { t.commitSchedule(at) }
+
+func (t *Txn) commitSchedule(at sim.Time) {
+	if t.state != StatePrepared {
+		panic(fmt.Sprintf("reconfig: commit of %s transaction", t.state))
+	}
+	if t.scheduled {
+		panic("reconfig: transaction already scheduled")
+	}
+	t.scheduled = true
+	t.commitAt = at
+	t.c.engine.At(at, "reconfig:commit", func(*sim.Engine) { t.Commit() })
+}
+
+// Commit applies every staged operation in order, immediately. On the
+// first failure — real or injected via Controller.ArmFailure — every
+// already-applied operation is reverted in reverse order and the
+// transaction resolves rolled-back with Err set. All operations run
+// within one event, so no frame moves between apply steps.
+func (t *Txn) Commit() {
+	if t.state != StatePrepared {
+		panic(fmt.Sprintf("reconfig: commit of %s transaction", t.state))
+	}
+	for i, o := range t.ops {
+		var err error
+		if t.c.takeFailure(i, len(t.ops)) {
+			err = fmt.Errorf("reconfig: injected failure before %q", o.name)
+		} else {
+			err = o.apply()
+		}
+		if err != nil {
+			t.rollback(i)
+			t.err = fmt.Errorf("reconfig: commit failed at %q: %w", o.name, err)
+			t.state = StateRolledBack
+			t.c.metRolledBack.Inc()
+			t.resolve()
+			return
+		}
+		t.c.metApplied.Inc()
+	}
+	t.state = StateCommitted
+	t.c.metCommitted.Inc()
+	t.resolve()
+}
+
+// rollback reverts ops [0, applied) in reverse order. A revert that
+// fails would leave the switch in an undefined mixed state, which the
+// staged operations are constructed to make impossible — occupancy can
+// only have been checked against the tighter of the two configurations
+// — so it panics.
+func (t *Txn) rollback(applied int) {
+	for i := applied - 1; i >= 0; i-- {
+		if err := t.ops[i].revert(); err != nil {
+			panic(fmt.Sprintf("reconfig: rollback of %q failed: %v", t.ops[i].name, err))
+		}
+		t.c.metReverted.Inc()
+	}
+}
+
+func (t *Txn) resolve() {
+	fns := t.onResolve
+	t.onResolve = nil
+	for _, fn := range fns {
+		fn(t)
+	}
+}

@@ -1,0 +1,236 @@
+package reconfig
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+)
+
+// Watchdog metric names.
+const (
+	// MetricAudits counts completed audit sweeps.
+	MetricAudits = "tsn_watchdog_audits_total"
+	// MetricViolations counts invariant violations {invariant=...}.
+	MetricViolations = "tsn_watchdog_violations_total"
+	// MetricDegradeLevel is the current degradation level {switch}.
+	MetricDegradeLevel = "tsn_degrade_level"
+	// MetricDegradeTransitions counts level changes {switch}.
+	MetricDegradeTransitions = "tsn_degrade_transitions_total"
+)
+
+// Invariants lists every invariant class the watchdog audits, in the
+// order their violation counters are registered.
+func Invariants() []string {
+	return []string{"buffer-conservation", "queue-bounds", "gate-monotonic", "frer-bounds"}
+}
+
+// Policy is the graceful-degradation policy: pool-occupancy fractions
+// at which traffic shedding engages and disengages. Recover < ShedBE <
+// ShedRC gives the ladder hysteresis so the level does not flap around
+// a threshold.
+type Policy struct {
+	// ShedBE engages best-effort shedding at this occupancy fraction.
+	ShedBE float64
+	// ShedRC escalates to shedding BE and RC at this fraction.
+	ShedRC float64
+	// Recover disengages shedding once occupancy falls to this
+	// fraction or below.
+	Recover float64
+}
+
+// DefaultPolicy returns the degradation thresholds used when none are
+// configured: shed BE at 75 % pool occupancy, shed RC too at 90 %,
+// recover below 50 %.
+func DefaultPolicy() Policy {
+	return Policy{ShedBE: 0.75, ShedRC: 0.90, Recover: 0.50}
+}
+
+// Validate checks the ladder ordering.
+func (p Policy) Validate() error {
+	if !(0 <= p.Recover && p.Recover < p.ShedBE && p.ShedBE <= p.ShedRC && p.ShedRC <= 1) {
+		return fmt.Errorf("reconfig: degradation policy not ordered: recover=%v shedBE=%v shedRC=%v",
+			p.Recover, p.ShedBE, p.ShedRC)
+	}
+	return nil
+}
+
+// Watchdog periodically audits runtime conservation invariants on the
+// watched switches — buffer leak / double free, queue occupancy within
+// depth, gate schedule monotonicity, FRER table bounds — and drives
+// the graceful-degradation policy from buffer-pool pressure. It runs
+// as an ordinary simulation event, so audits land deterministically in
+// the event order and the same seed reproduces the same findings.
+type Watchdog struct {
+	engine   *sim.Engine
+	reg      *metrics.Registry
+	interval sim.Time
+	policy   Policy
+
+	switches []*tsnswitch.Switch
+	frers    []*frer.Table
+
+	audits     uint64
+	violations map[string]uint64
+	lastDetail string
+
+	metAudits metrics.Counter
+	metViol   map[string]metrics.Counter
+	metLevel  []metrics.Gauge
+	metTrans  []metrics.Counter
+
+	started bool
+	stopped bool
+}
+
+// NewWatchdog returns a watchdog auditing every interval, counting
+// into reg (nil disables instrumentation), with the default policy.
+func NewWatchdog(engine *sim.Engine, reg *metrics.Registry, interval sim.Time) *Watchdog {
+	if interval <= 0 {
+		panic(fmt.Sprintf("reconfig: non-positive watchdog interval %v", interval))
+	}
+	w := &Watchdog{
+		engine:     engine,
+		reg:        reg,
+		interval:   interval,
+		policy:     DefaultPolicy(),
+		violations: make(map[string]uint64),
+		metViol:    make(map[string]metrics.Counter),
+	}
+	if reg != nil {
+		reg.Help(MetricAudits, "watchdog audit sweeps completed")
+		reg.Help(MetricViolations, "invariant violations detected, by invariant")
+		reg.Help(MetricDegradeLevel, "graceful-degradation level (0 off, 1 shed BE, 2 shed BE+RC)")
+		reg.Help(MetricDegradeTransitions, "graceful-degradation level changes")
+		w.metAudits = reg.Counter(MetricAudits)
+		for _, inv := range Invariants() {
+			w.metViol[inv] = reg.Counter(MetricViolations, metrics.L("invariant", inv))
+		}
+	}
+	return w
+}
+
+// SetPolicy replaces the degradation policy. Call before Start.
+func (w *Watchdog) SetPolicy(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	w.policy = p
+	return nil
+}
+
+// Watch adds sw to the audited set.
+func (w *Watchdog) Watch(sw *tsnswitch.Switch) {
+	w.switches = append(w.switches, sw)
+	if w.reg != nil {
+		swl := metrics.L("switch", strconv.Itoa(sw.ID()))
+		w.metLevel = append(w.metLevel, w.reg.Gauge(MetricDegradeLevel, swl))
+		w.metTrans = append(w.metTrans, w.reg.Counter(MetricDegradeTransitions, swl))
+	} else {
+		w.metLevel = append(w.metLevel, metrics.Gauge{})
+		w.metTrans = append(w.metTrans, metrics.Counter{})
+	}
+}
+
+// WatchFRER adds a sequence-recovery table to the audited set.
+func (w *Watchdog) WatchFRER(tbl *frer.Table) { w.frers = append(w.frers, tbl) }
+
+// Start schedules the first audit one interval from now.
+func (w *Watchdog) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.engine.After(w.interval, "watchdog:tick", w.tick)
+}
+
+// Stop halts auditing after the current interval.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+// Audits returns how many audit sweeps have completed.
+func (w *Watchdog) Audits() uint64 { return w.audits }
+
+// Violations returns a copy of the per-invariant violation counts.
+func (w *Watchdog) Violations() map[string]uint64 {
+	out := make(map[string]uint64, len(w.violations))
+	for k, v := range w.violations {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalViolations sums all invariant violations observed.
+func (w *Watchdog) TotalViolations() uint64 {
+	var total uint64
+	for _, v := range w.violations {
+		total += v
+	}
+	return total
+}
+
+// LastDetail returns the most recent violation's description, for
+// diagnostics.
+func (w *Watchdog) LastDetail() string { return w.lastDetail }
+
+// note records one violation.
+func (w *Watchdog) note(invariant, detail string) {
+	w.violations[invariant]++
+	w.lastDetail = detail
+	if c, ok := w.metViol[invariant]; ok {
+		c.Inc()
+	}
+}
+
+// tick runs one audit sweep and reschedules itself.
+func (w *Watchdog) tick(e *sim.Engine) {
+	if w.stopped {
+		return
+	}
+	w.audits++
+	w.metAudits.Inc()
+	for i, sw := range w.switches {
+		local := sw.Clock.Now(e.Now())
+		for _, v := range sw.Audit(local) {
+			w.note(v.Invariant, v.Detail)
+		}
+		w.drivePolicy(i, sw)
+	}
+	for i, tbl := range w.frers {
+		if tbl.Len() > tbl.Capacity() {
+			w.note("frer-bounds", fmt.Sprintf("FRER table %d: %d streams exceed capacity %d",
+				i, tbl.Len(), tbl.Capacity()))
+		}
+		if h := tbl.History(); h < 1 || h > frer.MaxHistory {
+			w.note("frer-bounds", fmt.Sprintf("FRER table %d: history %d out of [1,%d]",
+				i, h, frer.MaxHistory))
+		}
+	}
+	w.engine.After(w.interval, "watchdog:tick", w.tick)
+}
+
+// drivePolicy moves switch i's degradation level along the ladder:
+// escalate when pool pressure crosses a shed threshold, de-escalate
+// only once pressure falls to Recover (hysteresis), hold in between.
+func (w *Watchdog) drivePolicy(i int, sw *tsnswitch.Switch) {
+	pressure := sw.PoolPressure()
+	cur := sw.DegradeLevel()
+	want := cur
+	switch {
+	case pressure >= w.policy.ShedRC:
+		want = tsnswitch.DegradeShedRC
+	case pressure >= w.policy.ShedBE:
+		if cur < tsnswitch.DegradeShedBE {
+			want = tsnswitch.DegradeShedBE
+		}
+	case pressure <= w.policy.Recover:
+		want = tsnswitch.DegradeOff
+	}
+	if want != cur {
+		sw.SetDegradeLevel(want)
+		w.metTrans[i].Inc()
+	}
+	w.metLevel[i].Set(int64(want))
+}

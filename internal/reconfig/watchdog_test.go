@@ -1,0 +1,173 @@
+package reconfig
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/frer"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+)
+
+func TestPolicyValidate(t *testing.T) {
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Policy{
+		{ShedBE: 0.9, ShedRC: 0.8, Recover: 0.5}, // RC below BE
+		{ShedBE: 0.5, ShedRC: 0.9, Recover: 0.6}, // recover above BE
+		{ShedBE: 0.5, ShedRC: 1.5, Recover: 0.2}, // above 1
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("policy %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestWatchdogCleanRun(t *testing.T) {
+	h := newHarness(t)
+	reg := metrics.New()
+	w := NewWatchdog(h.engine, reg, sim.Millisecond)
+	w.Watch(h.sw)
+	w.Start()
+	h.engine.RunUntil(10 * sim.Millisecond)
+	if w.Audits() < 9 {
+		t.Fatalf("audits = %d", w.Audits())
+	}
+	if w.TotalViolations() != 0 {
+		t.Fatalf("violations on clean switch: %v (%s)", w.Violations(), w.LastDetail())
+	}
+	if got := reg.CounterValue(MetricAudits); got != w.Audits() {
+		t.Fatalf("audit counter = %d, want %d", got, w.Audits())
+	}
+}
+
+func TestWatchdogDetectsBufferLeak(t *testing.T) {
+	h := newHarness(t)
+	reg := metrics.New()
+	w := NewWatchdog(h.engine, reg, sim.Millisecond)
+	w.Watch(h.sw)
+	w.Start()
+	h.engine.At(5*sim.Millisecond, "leak", func(*sim.Engine) {
+		h.sw.Port(0).Pool().Leak(2)
+	})
+	h.engine.RunUntil(10 * sim.Millisecond)
+	if got := w.Violations()["buffer-conservation"]; got == 0 {
+		t.Fatalf("leak not detected: %v", w.Violations())
+	}
+	if !strings.Contains(w.LastDetail(), "port 0") {
+		t.Fatalf("detail = %q", w.LastDetail())
+	}
+	if reg.CounterValue(MetricViolations, metrics.L("invariant", "buffer-conservation")) == 0 {
+		t.Fatal("violation not counted in registry")
+	}
+}
+
+func TestWatchdogDetectsFREROverflow(t *testing.T) {
+	h := newHarness(t)
+	tbl := frer.NewTable(2, 16)
+	w := NewWatchdog(h.engine, nil, sim.Millisecond)
+	w.WatchFRER(tbl)
+	w.Start()
+	h.engine.RunUntil(3 * sim.Millisecond)
+	if w.TotalViolations() != 0 {
+		t.Fatalf("violations on healthy table: %v", w.Violations())
+	}
+}
+
+func TestWatchdogStop(t *testing.T) {
+	h := newHarness(t)
+	w := NewWatchdog(h.engine, nil, sim.Millisecond)
+	w.Watch(h.sw)
+	w.Start()
+	h.engine.At(3500*sim.Microsecond, "stop", func(*sim.Engine) { w.Stop() })
+	h.engine.RunUntil(20 * sim.Millisecond)
+	if got := w.Audits(); got != 3 {
+		t.Fatalf("audits after stop = %d, want 3", got)
+	}
+}
+
+func TestDegradationLadder(t *testing.T) {
+	cfg := baseCfg()
+	cfg.BufferNum = 10
+	engine := sim.NewEngine()
+	sw := tsnswitch.New(engine, switchCfg(cfg))
+	w := NewWatchdog(engine, metrics.New(), sim.Millisecond)
+	w.Watch(sw)
+	w.Start()
+
+	pool := sw.Port(0).Pool()
+	slots := make([]int, 0, 10)
+	alloc := func(n int) {
+		for i := 0; i < n; i++ {
+			s, ok := pool.Alloc(64)
+			if !ok {
+				t.Fatal("alloc failed")
+			}
+			slots = append(slots, s)
+		}
+	}
+	free := func(n int) {
+		for i := 0; i < n; i++ {
+			pool.Free(slots[len(slots)-1])
+			slots = slots[:len(slots)-1]
+		}
+	}
+
+	// 8/10 = 0.8 ≥ ShedBE(0.75): shed BE.
+	engine.At(500*sim.Microsecond, "fill-be", func(*sim.Engine) { alloc(8) })
+	engine.RunUntil(2 * sim.Millisecond)
+	if got := sw.DegradeLevel(); got != tsnswitch.DegradeShedBE {
+		t.Fatalf("level at 0.8 = %v", got)
+	}
+	// 9/10 = 0.9 ≥ ShedRC(0.90): escalate.
+	engine.At(2500*sim.Microsecond, "fill-rc", func(*sim.Engine) { alloc(1) })
+	engine.RunUntil(4 * sim.Millisecond)
+	if got := sw.DegradeLevel(); got != tsnswitch.DegradeShedRC {
+		t.Fatalf("level at 0.9 = %v", got)
+	}
+	// 6/10 = 0.6: between Recover and ShedBE — hold (hysteresis).
+	engine.At(4500*sim.Microsecond, "partial-drain", func(*sim.Engine) { free(3) })
+	engine.RunUntil(6 * sim.Millisecond)
+	if got := sw.DegradeLevel(); got != tsnswitch.DegradeShedRC {
+		t.Fatalf("level at 0.6 = %v, want held shed-rc", got)
+	}
+	// 4/10 = 0.4 ≤ Recover(0.50): back off.
+	engine.At(6500*sim.Microsecond, "drain", func(*sim.Engine) { free(2) })
+	engine.RunUntil(8 * sim.Millisecond)
+	if got := sw.DegradeLevel(); got != tsnswitch.DegradeOff {
+		t.Fatalf("level at 0.4 = %v, want off", got)
+	}
+}
+
+func TestDegradationHoldsBelowShedRC(t *testing.T) {
+	// Pressure between ShedBE and ShedRC while already at ShedRC must
+	// not de-escalate to ShedBE: the ladder only steps down at Recover.
+	cfg := baseCfg()
+	cfg.BufferNum = 100
+	engine := sim.NewEngine()
+	sw := tsnswitch.New(engine, switchCfg(cfg))
+	w := NewWatchdog(engine, nil, sim.Millisecond)
+	w.Watch(sw)
+	w.Start()
+	pool := sw.Port(0).Pool()
+	slots := []int{}
+	engine.At(500*sim.Microsecond, "fill", func(*sim.Engine) {
+		for i := 0; i < 95; i++ {
+			s, _ := pool.Alloc(64)
+			slots = append(slots, s)
+		}
+	})
+	engine.At(2500*sim.Microsecond, "drain-to-80", func(*sim.Engine) {
+		for i := 0; i < 15; i++ {
+			pool.Free(slots[len(slots)-1])
+			slots = slots[:len(slots)-1]
+		}
+	})
+	engine.RunUntil(4 * sim.Millisecond)
+	if got := sw.DegradeLevel(); got != tsnswitch.DegradeShedRC {
+		t.Fatalf("level = %v, want shed-rc held at 0.8", got)
+	}
+}

@@ -165,3 +165,46 @@ func (b *Bank) For(queueID int) *CBS {
 
 // MapLen returns the number of consumed CBS MAP entries.
 func (b *Bank) MapLen() int { return len(b.binding) }
+
+// RequiredSize returns the smallest CBS table size that keeps every
+// bound or configured shaper addressable: highest such id + 1 (0 if
+// none).
+func (b *Bank) RequiredSize() int {
+	req := 0
+	for _, id := range b.binding {
+		if id+1 > req {
+			req = id + 1
+		}
+	}
+	for id, cfg := range b.configured {
+		if cfg && id+1 > req {
+			req = id + 1
+		}
+	}
+	return req
+}
+
+// Resize changes the CBS MAP and CBS table sizes in place, preserving
+// bindings, slopes and accumulated credit — the live-reconfiguration
+// primitive behind set_cbs_tbl. It fails if live bindings exceed the
+// new map size or a bound/configured shaper id falls outside the new
+// CBS size.
+func (b *Bank) Resize(mapSize, cbsSize int) error {
+	if mapSize < 0 || cbsSize < 0 {
+		return fmt.Errorf("shaper: negative bank size %d/%d", mapSize, cbsSize)
+	}
+	if len(b.binding) > mapSize {
+		return fmt.Errorf("shaper: cannot shrink CBS MAP to %d: %d bindings installed",
+			mapSize, len(b.binding))
+	}
+	if req := b.RequiredSize(); cbsSize < req {
+		return fmt.Errorf("shaper: cannot shrink CBS table to %d: shaper %d is live", cbsSize, req-1)
+	}
+	shapers := make([]CBS, cbsSize)
+	configured := make([]bool, cbsSize)
+	copy(shapers, b.shapers)
+	copy(configured, b.configured)
+	b.shapers, b.configured = shapers, configured
+	b.mapCapacity = mapSize
+	return nil
+}

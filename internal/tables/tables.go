@@ -73,6 +73,21 @@ func (t *UnicastTable) Lookup(dst ethernet.MAC, vid uint16) (outPort int, ok boo
 // Stats returns (lookups, misses).
 func (t *UnicastTable) Stats() (uint64, uint64) { return t.lookups, t.misses }
 
+// Resize changes the entry budget in place — the live-reconfiguration
+// primitive behind set_switch_tbl. Installed entries survive; shrinking
+// below the live occupancy fails.
+func (t *UnicastTable) Resize(capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("tables: negative unicast capacity %d", capacity)
+	}
+	if len(t.entries) > capacity {
+		return fmt.Errorf("tables: cannot shrink unicast table to %d: %d entries installed",
+			capacity, len(t.entries))
+	}
+	t.capacity = capacity
+	return nil
+}
+
 // MulticastTable maps a multicast index (MC ID) to a set of output
 // ports, represented as a bitmask.
 type MulticastTable struct {
@@ -109,6 +124,20 @@ func (t *MulticastTable) Add(mcID uint16, portMask uint32) error {
 func (t *MulticastTable) Lookup(mcID uint16) (portMask uint32, ok bool) {
 	portMask, ok = t.entries[mcID]
 	return portMask, ok
+}
+
+// Resize changes the entry budget in place; shrinking below the live
+// occupancy fails.
+func (t *MulticastTable) Resize(capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("tables: negative multicast capacity %d", capacity)
+	}
+	if len(t.entries) > capacity {
+		return fmt.Errorf("tables: cannot shrink multicast table to %d: %d entries installed",
+			capacity, len(t.entries))
+	}
+	t.capacity = capacity
+	return nil
 }
 
 // ClassKey is the classification-table key from Fig. 4: the combination
@@ -178,3 +207,18 @@ func KeyFor(f *ethernet.Frame) ClassKey {
 
 // Stats returns (lookups, misses).
 func (t *ClassTable) Stats() (uint64, uint64) { return t.lookups, t.misses }
+
+// Resize changes the entry budget in place — the live-reconfiguration
+// primitive behind set_class_tbl. Installed entries survive; shrinking
+// below the live occupancy fails.
+func (t *ClassTable) Resize(capacity int) error {
+	if capacity < 0 {
+		return fmt.Errorf("tables: negative classification capacity %d", capacity)
+	}
+	if len(t.entries) > capacity {
+		return fmt.Errorf("tables: cannot shrink classification table to %d: %d entries installed",
+			capacity, len(t.entries))
+	}
+	t.capacity = capacity
+	return nil
+}

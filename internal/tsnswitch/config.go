@@ -131,6 +131,11 @@ const (
 	DropGateClosed
 	DropBufferFull
 	DropQueueFull
+	// DropDegraded counts frames shed by the graceful-degradation
+	// policy: under buffer pressure the watchdog raises the switch's
+	// degrade level and lower classes are dropped at admission so TS
+	// traffic keeps its buffers.
+	DropDegraded
 	dropReasonCount
 )
 
@@ -157,8 +162,40 @@ func (r DropReason) String() string {
 		return "buffer-full"
 	case DropQueueFull:
 		return "queue-full"
+	case DropDegraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("DropReason(%d)", int(r))
+}
+
+// DegradeLevel selects how aggressively the switch sheds traffic at
+// admission when the watchdog detects buffer pressure. TS frames are
+// never shed: the whole point of the policy is that degradation eats
+// best-effort headroom before it touches the time-sensitive service.
+type DegradeLevel int
+
+// Degradation levels, in escalation order.
+const (
+	// DegradeOff admits every class (normal operation).
+	DegradeOff DegradeLevel = iota
+	// DegradeShedBE drops best-effort frames at admission.
+	DegradeShedBE
+	// DegradeShedRC drops best-effort and rate-constrained frames,
+	// leaving buffers exclusively to TS traffic.
+	DegradeShedRC
+)
+
+// String implements fmt.Stringer.
+func (l DegradeLevel) String() string {
+	switch l {
+	case DegradeOff:
+		return "off"
+	case DegradeShedBE:
+		return "shed-be"
+	case DegradeShedRC:
+		return "shed-rc"
+	}
+	return fmt.Sprintf("DegradeLevel(%d)", int(l))
 }
 
 // Stats aggregates one switch's dataplane counters.

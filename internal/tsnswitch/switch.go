@@ -33,6 +33,9 @@ type Switch struct {
 	Tracer *trace.Recorder
 
 	stats Stats
+	// degrade is the graceful-degradation level the watchdog drives;
+	// enqueue sheds lower classes at admission while it is raised.
+	degrade DegradeLevel
 	// Telemetry: handles resolved once at construction (zero values are
 	// no-ops), plus the registry for re-binding replaced schedules.
 	met     swInstruments
@@ -252,6 +255,17 @@ func (p *Port) enqueue(f *ethernet.Frame, queueID int) {
 		sw.met.drops[DropGateClosed].Inc()
 		sw.emit(trace.KindDrop, p.id, queueID, f, DropGateClosed.String())
 		return
+	}
+	// Graceful degradation: under buffer pressure shed BE (and, one
+	// level up, RC) frames before they consume a buffer. TS frames are
+	// never shed here.
+	if sw.degrade > DegradeOff && f.Class != ethernet.ClassTS {
+		if f.Class == ethernet.ClassBE || sw.degrade >= DegradeShedRC {
+			sw.stats.Drops[DropDegraded]++
+			sw.met.drops[DropDegraded].Inc()
+			sw.emit(trace.KindDrop, p.id, qid, f, DropDegraded.String())
+			return
+		}
 	}
 	slot, ok := p.pool.Alloc(f.BufferBytes())
 	if !ok {

@@ -25,6 +25,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
 	"github.com/tsnbuilder/tsnbuilder/internal/pcap"
+	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/tables"
 	"github.com/tsnbuilder/tsnbuilder/internal/tas"
@@ -77,6 +78,13 @@ type Options struct {
 	// gPTP the warmup window counts too. The seed for probabilistic
 	// impairments is Seed unless the scenario carries its own.
 	Faults *faults.Scenario
+	// EnableWatchdog runs the runtime invariant watchdog: periodic
+	// audits of buffer conservation, queue bounds, gate monotonicity
+	// and FRER bounds, plus the graceful-degradation policy that sheds
+	// BE/RC traffic under buffer pressure before TS is touched.
+	EnableWatchdog bool
+	// WatchdogInterval overrides the audit period (default 1 ms).
+	WatchdogInterval sim.Time
 }
 
 // Net is a built network ready to run.
@@ -90,10 +98,46 @@ type Net struct {
 	Capture   *pcap.Writer      // nil unless Options.Pcap set
 	Metrics   *metrics.Registry // nil unless Options.Metrics set
 	Injector  *faults.Injector  // nil unless Options.Faults set
+	// Reconfig is the transactional live-reconfiguration controller;
+	// always present so fault scenarios can arm mid-apply failures.
+	Reconfig *reconfig.Controller
+	// Watchdog is the runtime invariant auditor; nil unless
+	// Options.EnableWatchdog.
+	Watchdog *reconfig.Watchdog
 
 	opts  Options
 	specs []*flows.Spec
+	// liveCfg tracks the configuration currently in force: the design's
+	// at build, then each committed reconfiguration's candidate.
+	liveCfg core.Config
+	// recovery maps listener host → FRER sequence-recovery table.
+	recovery          map[int]*frer.Table
+	frerCap, frerHist int
+	prog              progState
+	flowStop          sim.Time
 }
+
+// progState is the control plane's incremental programming cursor, so
+// flows added mid-run (after a reconfiguration grew the tables) extend
+// the original programming instead of recomputing it.
+type progState struct {
+	// flowIdx counts programmed flows; RC queue assignment cycles on it.
+	flowIdx int
+	// nextMeter is the next free meter table index.
+	nextMeter int
+	// reserved is the cumulative RC bandwidth per (switch, port, queue)
+	// cell, the input to CBS slope configuration.
+	reserved map[pq]ethernet.Rate
+	// nextCBS is the next free CBS id per (switch, port) bank; cbsID
+	// remembers the shaper already serving a cell.
+	nextCBS map[bankKey]int
+	cbsID   map[pq]int
+}
+
+// pq addresses one (switch, port, queue) cell; bankKey one port's CBS
+// bank.
+type pq struct{ sw, port, q int }
+type bankKey struct{ sw, port int }
 
 // Build assembles the network.
 func Build(opts Options) (*Net, error) {
@@ -110,6 +154,13 @@ func Build(opts Options) (*Net, error) {
 		Collector: analyzer.NewCollector(),
 		opts:      opts,
 		specs:     opts.Flows,
+		liveCfg:   opts.Design.Config,
+		recovery:  make(map[int]*frer.Table),
+		prog: progState{
+			reserved: make(map[pq]ethernet.Rate),
+			nextCBS:  make(map[bankKey]int),
+			cbsID:    make(map[pq]int),
+		},
 	}
 
 	if opts.EnableTrace {
@@ -214,6 +265,27 @@ func Build(opts Options) (*Net, error) {
 		return nil, err
 	}
 
+	// Live-reconfiguration controller: always present, so fault
+	// scenarios can arm mid-apply failures even before the first
+	// Reconfigure call.
+	n.Reconfig = reconfig.NewController(engine, opts.Metrics)
+
+	// Invariant watchdog over every switch and recovery table.
+	if opts.EnableWatchdog {
+		interval := opts.WatchdogInterval
+		if interval <= 0 {
+			interval = sim.Millisecond
+		}
+		n.Watchdog = reconfig.NewWatchdog(engine, opts.Metrics, interval)
+		for _, sw := range n.Switches {
+			n.Watchdog.Watch(sw)
+		}
+		for _, tbl := range n.sortedRecovery() {
+			n.Watchdog.WatchFRER(tbl)
+		}
+		n.Watchdog.Start()
+	}
+
 	// Fault scenario: resolve selectors against the built network and
 	// schedule every fault (absolute sim time, from now = 0).
 	if opts.Faults != nil {
@@ -223,6 +295,22 @@ func Build(opts Options) (*Net, error) {
 		}
 	}
 	return n, nil
+}
+
+// sortedRecovery lists the FRER recovery tables in listener-host order,
+// the deterministic order used for watchdog audits and reconfiguration
+// bindings.
+func (n *Net) sortedRecovery() []*frer.Table {
+	hosts := make([]int, 0, len(n.recovery))
+	for h := range n.recovery {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	out := make([]*frer.Table, len(hosts))
+	for i, h := range hosts {
+		out[i] = n.recovery[h]
+	}
+	return out
 }
 
 // faultBindings maps fault-scenario selectors (switch pairs, hosts,
@@ -254,20 +342,16 @@ func (n *Net) faultBindings() faults.Bindings {
 			return n.Switches[id], nil
 		},
 		Domain: n.Domain,
+		ArmReconfigFail: func(op int) error {
+			n.Reconfig.ArmFailure(op)
+			return nil
+		},
 	}
 }
 
 // program installs forwarding, classification, meter and CBS state for
 // every flow, as the embedded CPU does at run-time in the prototype.
 func (n *Net) program() error {
-	topo := n.opts.Topo
-	design := n.opts.Design
-	rcQueues := rcQueueSet(design.Config.QueueNum, design.Config.CBSMapSize)
-	nextMeter := 0
-	// Per (switch, port, queue) reserved RC bandwidth for CBS slopes.
-	type pq struct{ sw, port, q int }
-	reserved := map[pq]ethernet.Rate{}
-
 	// FRER sizing: the sequence-recovery table at each listener holds
 	// every redundant stream the design provisioned (set_frer_tbl), or
 	// at minimum every FRER flow in the workload.
@@ -277,31 +361,50 @@ func (n *Net) program() error {
 			nFRER++
 		}
 	}
-	frerCap := design.Config.FRERSize
-	if frerCap < nFRER {
-		frerCap = nFRER
+	n.frerCap = n.liveCfg.FRERSize
+	if n.frerCap < nFRER {
+		n.frerCap = nFRER
 	}
-	frerHist := design.Config.FRERHistory
-	if frerHist <= 0 {
-		frerHist = frer.DefaultHistory
+	n.frerHist = n.liveCfg.FRERHistory
+	if n.frerHist <= 0 {
+		n.frerHist = frer.DefaultHistory
 	}
-	recovery := map[int]*frer.Table{} // listener host → recovery table
 
-	for i, spec := range n.specs {
+	changed, err := n.installFlows(n.specs)
+	if err != nil {
+		return err
+	}
+	return n.applyCBS(changed)
+}
+
+// installFlows programs forwarding, classification and meter state for
+// specs, advancing the incremental programming cursor (n.prog) so the
+// same function serves the initial build and flows added live. It
+// returns the (switch, port, queue) cells whose RC bandwidth
+// reservation changed and therefore need CBS (re)configuration. On
+// error the tables may hold a partial install.
+func (n *Net) installFlows(specs []*flows.Spec) ([]pq, error) {
+	topo := n.opts.Topo
+	rcQueues := rcQueueSet(n.liveCfg.QueueNum, n.liveCfg.CBSMapSize)
+	changed := map[pq]bool{}
+
+	for _, spec := range specs {
+		idx := n.prog.flowIdx
+		n.prog.flowIdx++
 		if len(spec.Path) == 0 {
-			return fmt.Errorf("testbed: flow %d path not bound", spec.ID)
+			return nil, fmt.Errorf("testbed: flow %d path not bound", spec.ID)
 		}
 		dstAt, ok := topo.HostAttach(spec.DstHost)
 		if !ok {
-			return fmt.Errorf("testbed: flow %d destination host %d not attached", spec.ID, spec.DstHost)
+			return nil, fmt.Errorf("testbed: flow %d destination host %d not attached", spec.ID, spec.DstHost)
 		}
 		// Queue assignment by class.
 		var queueID int
 		switch spec.Class {
 		case ethernet.ClassTS:
-			queueID = design.Config.QueueNum - 1 // CQF pair member A
+			queueID = n.liveCfg.QueueNum - 1 // CQF pair member A
 		case ethernet.ClassRC:
-			queueID = rcQueues[i%len(rcQueues)]
+			queueID = rcQueues[idx%len(rcQueues)]
 		default:
 			queueID = 0
 		}
@@ -334,7 +437,7 @@ func (n *Net) program() error {
 				}
 				entry := tables.ClassEntry{QueueID: queueID}
 				if withMeter {
-					entry.MeterID = nextMeter
+					entry.MeterID = n.prog.nextMeter
 					entry.HasMeter = true
 					// The meter must admit the flow's declared burst; the
 					// CBS, not the policer, spreads it (802.1Qav).
@@ -342,10 +445,12 @@ func (n *Net) program() error {
 					if b := 2 * spec.BurstFrames() * spec.WireSize; b > burst {
 						burst = b
 					}
-					if err := sw.Filter().Meters.Configure(nextMeter, spec.Rate+spec.Rate/10, burst); err != nil {
+					if err := sw.Filter().Meters.Configure(n.prog.nextMeter, spec.Rate+spec.Rate/10, burst); err != nil {
 						return fmt.Errorf("testbed: flow %d meter: %w", spec.ID, err)
 					}
-					reserved[pq{swID, outPort, queueID}] += spec.Rate
+					cell := pq{swID, outPort, queueID}
+					n.prog.reserved[cell] += spec.Rate
+					changed[cell] = true
 				}
 				key := tables.ClassKey{
 					Src: ethernet.HostMAC(spec.SrcHost), Dst: dstMAC,
@@ -358,15 +463,15 @@ func (n *Net) program() error {
 			return nil
 		}
 		if err := installPath(spec.Path, spec.VID, spec.Class == ethernet.ClassRC); err != nil {
-			return err
+			return nil, err
 		}
 		if spec.FRER {
-			if err := n.programFRER(spec, recovery, frerCap, frerHist, installPath); err != nil {
-				return err
+			if err := n.programFRER(spec, n.recovery, n.frerCap, n.frerHist, installPath); err != nil {
+				return nil, err
 			}
 		}
 		if spec.Class == ethernet.ClassRC {
-			nextMeter++
+			n.prog.nextMeter++
 		}
 		n.Collector.RegisterFlow(spec.ID, spec.Class)
 		if spec.Class == ethernet.ClassTS && spec.Deadline > 0 {
@@ -374,17 +479,10 @@ func (n *Net) program() error {
 		}
 	}
 
-	// CBS: one shaper per RC queue with reserved bandwidth + 25%
-	// headroom, capped below line rate.
-	if n.opts.DisableCBS {
-		return nil
-	}
-	type bankKey struct{ sw, port int }
-	nextCBS := map[bankKey]int{}
 	// Deterministic cell order: CBS ids and metric registration must
 	// not depend on map iteration (bit-identical reruns).
-	cells := make([]pq, 0, len(reserved))
-	for cell := range reserved {
+	cells := make([]pq, 0, len(changed))
+	for cell := range changed {
 		cells = append(cells, cell)
 	}
 	sort.Slice(cells, func(i, j int) bool {
@@ -397,24 +495,39 @@ func (n *Net) program() error {
 		}
 		return a.q < b.q
 	})
+	return cells, nil
+}
+
+// applyCBS configures one credit-based shaper per touched RC cell with
+// the cumulative reserved bandwidth + 25% headroom, capped below line
+// rate. Cells already attached to a shaper get their idle slope
+// re-programmed in place.
+func (n *Net) applyCBS(cells []pq) error {
+	if n.opts.DisableCBS {
+		return nil
+	}
 	for _, cell := range cells {
-		rate := reserved[cell]
+		rate := n.prog.reserved[cell]
 		sw := n.Switches[cell.sw]
-		bk := bankKey{cell.sw, cell.port}
-		id := nextCBS[bk]
-		nextCBS[bk] = id + 1
 		idle := rate + rate/4
-		if idle >= design.Config.LinkRate {
-			idle = design.Config.LinkRate - 1
+		if idle >= n.liveCfg.LinkRate {
+			idle = n.liveCfg.LinkRate - 1
 		}
 		bank := sw.Bank(cell.port)
-		if err := bank.Attach(cell.q, id); err != nil {
-			return fmt.Errorf("testbed: cbs attach sw%d p%d q%d: %w", cell.sw, cell.port, cell.q, err)
+		id, attached := n.prog.cbsID[cell]
+		if !attached {
+			bk := bankKey{cell.sw, cell.port}
+			id = n.prog.nextCBS[bk]
+			n.prog.nextCBS[bk] = id + 1
+			if err := bank.Attach(cell.q, id); err != nil {
+				return fmt.Errorf("testbed: cbs attach sw%d p%d q%d: %w", cell.sw, cell.port, cell.q, err)
+			}
+			n.prog.cbsID[cell] = id
 		}
-		if err := bank.Configure(id, idle, design.Config.LinkRate); err != nil {
+		if err := bank.Configure(id, idle, n.liveCfg.LinkRate); err != nil {
 			return fmt.Errorf("testbed: cbs configure: %w", err)
 		}
-		if n.Metrics != nil {
+		if !attached && n.Metrics != nil {
 			n.Metrics.Help("tsn_cbs_stalls_total", "egress selections blocked on negative CBS credit")
 			bank.For(cell.q).Instrument(n.Metrics.Counter("tsn_cbs_stalls_total",
 				metrics.L("switch", strconv.Itoa(cell.sw)),
@@ -524,6 +637,7 @@ func (n *Net) InstallTAS(sch *tas.Schedule) error {
 func (n *Net) Run(warmup, duration sim.Time) {
 	start := n.Engine.Now() + warmup
 	stop := start + duration
+	n.flowStop = stop
 	for _, spec := range n.specs {
 		nic, ok := n.NICs[spec.SrcHost]
 		if !ok {
@@ -538,6 +652,75 @@ func (n *Net) Run(warmup, duration sim.Time) {
 	// Drain: two slots plus cable time covers any in-flight CQF frame.
 	drain := 4*n.opts.Design.Config.SlotSize + sim.Millisecond
 	n.Engine.RunUntil(stop + drain)
+}
+
+// LiveConfig returns the configuration currently in force: the design's
+// at build time, then the committed candidate after each successful
+// reconfiguration. A rolled-back transaction leaves it unchanged.
+func (n *Net) LiveConfig() core.Config { return n.liveCfg }
+
+// reconfigBindings connects the reconfiguration engine to the live
+// resources it validates against and operates on.
+func (n *Net) reconfigBindings() reconfig.Bindings {
+	return reconfig.Bindings{
+		Switches: n.Switches,
+		FRER:     n.sortedRecovery(),
+		Platform: n.opts.Design.Platform,
+	}
+}
+
+// Reconfigure begins a transactional live reconfiguration to cfg:
+// validate against the running state, stage per-resource operations,
+// and schedule the atomic commit for the next CQF cycle boundary. An
+// inapplicable candidate is rejected here, before anything is touched.
+// The returned transaction resolves (committed or rolled back) at its
+// CommitTime; inspect State and Err after the engine passes it.
+func (n *Net) Reconfigure(cfg core.Config) (*reconfig.Txn, error) {
+	txn, err := n.Reconfig.Begin(n.liveCfg, cfg, n.reconfigBindings())
+	if err != nil {
+		return nil, err
+	}
+	txn.OnResolve(func(t *reconfig.Txn) {
+		if t.State() == reconfig.StateCommitted {
+			n.liveCfg = cfg
+		}
+	})
+	txn.CommitAtBoundary()
+	return txn, nil
+}
+
+// AddFlows programs additional non-FRER flows into the running network
+// and schedules their generators to start at the absolute instant
+// start. Call it after Run has begun (typically from an engine event,
+// e.g. once a reconfiguration that grew the tables has committed); the
+// new flows stop with the rest of the workload. On a programming error
+// the tables may hold a partial install.
+func (n *Net) AddFlows(specs []*flows.Spec, start sim.Time) error {
+	for _, spec := range specs {
+		if spec.FRER {
+			return fmt.Errorf("testbed: flow %d: FRER flows cannot be added live", spec.ID)
+		}
+		if _, ok := n.NICs[spec.SrcHost]; !ok {
+			return fmt.Errorf("testbed: flow %d source host %d has no NIC", spec.ID, spec.SrcHost)
+		}
+	}
+	changed, err := n.installFlows(specs)
+	if err != nil {
+		return err
+	}
+	if err := n.applyCBS(changed); err != nil {
+		return err
+	}
+	n.specs = append(n.specs, specs...)
+	for _, spec := range specs {
+		spec := spec
+		nic := n.NICs[spec.SrcHost]
+		n.Engine.At(start, fmt.Sprintf("start-flow%d", spec.ID), func(*sim.Engine) {
+			nic.SetStopTime(n.flowStop)
+			nic.StartFlow(spec)
+		})
+	}
+	return nil
 }
 
 // SentCounts merges per-flow transmit counts across all NICs.
