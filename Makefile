@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short race vet lint bench fuzz examples reproduce clean
+.PHONY: all build test short race vet lint bench bench-json fuzz examples reproduce clean
 
 all: build vet test
 
@@ -32,6 +32,11 @@ lint: vet
 
 bench:
 	go test -bench=. -benchmem .
+
+# bench-json captures the bench run as JSON (BENCH_<date>.json) for
+# regression tracking; -short keeps it at test scale.
+bench-json:
+	go test -bench=. -benchmem -short . | go run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
 
 fuzz:
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/ethernet/

@@ -358,12 +358,35 @@ func BenchmarkEngineEvents(b *testing.B) {
 		}
 	}
 	e.After(1, "tick", tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run()
 }
 
-// BenchmarkFrameCodec measures Marshal/Unmarshal round trips.
+// BenchmarkFrameCodec measures the zero-copy codec hot path — the one
+// the dataplane uses: AppendMarshal into a recycled buffer, then
+// UnmarshalNoCopy aliasing it. Steady state allocates only the decoded
+// Frame header; no byte buffers.
 func BenchmarkFrameCodec(b *testing.B) {
+	f := &ethernet.Frame{
+		Dst: ethernet.HostMAC(1), Src: ethernet.HostMAC(2),
+		VID: 100, PCP: 7, EtherType: ethernet.TypeTSN,
+		Payload: make([]byte, 1000), FlowID: 1, Seq: 2, Class: ethernet.ClassTS,
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = f.AppendMarshal(buf[:0])
+		if _, err := ethernet.UnmarshalNoCopy(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameCodecCopy measures the copying Marshal/Unmarshal round
+// trip — the convenience API that owns its buffers.
+func BenchmarkFrameCodecCopy(b *testing.B) {
 	f := &ethernet.Frame{
 		Dst: ethernet.HostMAC(1), Src: ethernet.HostMAC(2),
 		VID: 100, PCP: 7, EtherType: ethernet.TypeTSN,
@@ -392,6 +415,7 @@ func BenchmarkITPCompute(b *testing.B) {
 			Period: 10 * sim.Millisecond, Path: path,
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := itp.Compute(specs, 65*sim.Microsecond, nil); err != nil {
@@ -415,6 +439,7 @@ func BenchmarkDeriveAndBuild(b *testing.B) {
 	if err := tsnbuilder.BindPaths(topo, specs); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		der, err := tsnbuilder.DeriveConfig(tsnbuilder.Scenario{Topo: topo, Flows: specs})

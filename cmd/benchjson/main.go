@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document suitable for dashboards and regression tracking:
+//
+//	go test -bench=. -benchmem -short . | benchjson -o BENCH_20260806.json
+//
+// Each benchmark line becomes one record with its iteration count and
+// every reported metric (ns/op, B/op, allocs/op, and custom
+// b.ReportMetric units like mean_µs). Non-benchmark lines are ignored,
+// so the full `go test` stream can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<YYYYMMDD>.json)")
+	flag.Parse()
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102"))
+	}
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), path)
+}
+
+// Doc is the exported JSON shape.
+type Doc struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `BenchmarkXxx-N  iters  metrics...` line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseBenchLine(line); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+			continue
+		}
+		parseHeader(doc, line)
+	}
+	return doc, sc.Err()
+}
+
+// parseHeader captures the goos/goarch/pkg/cpu preamble.
+func parseHeader(doc *Doc, line string) {
+	var s string
+	if n, _ := fmt.Sscanf(line, "goos: %s", &s); n == 1 {
+		doc.Goos = s
+	} else if n, _ := fmt.Sscanf(line, "goarch: %s", &s); n == 1 {
+		doc.Goarch = s
+	} else if n, _ := fmt.Sscanf(line, "pkg: %s", &s); n == 1 {
+		doc.Pkg = s
+	} else if len(line) > 5 && line[:5] == "cpu: " {
+		doc.CPU = line[5:]
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFrameCodec-8   1201886   996.5 ns/op   0 B/op   0 allocs/op
+//
+// Metric values and units come in pairs after the iteration count.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields[0]) <= len("Benchmark") || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/tsnbuilder/tsnbuilder
+cpu: Intel(R) Xeon(R) CPU @ 2.20GHz
+BenchmarkFrameCodec-8   	 1201886	       996.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig7Hops-8     	       1	1803442511 ns/op	       195.1 mean_µs	       2.12 jitter_µs	       0 loss_%
+--- BENCH: BenchmarkSomething
+    bench_test.go:42: note
+PASS
+ok  	github.com/tsnbuilder/tsnbuilder	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" {
+		t.Errorf("header: got %q/%q", doc.Goos, doc.Goarch)
+	}
+	if doc.Pkg != "github.com/tsnbuilder/tsnbuilder" {
+		t.Errorf("pkg: got %q", doc.Pkg)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Errorf("cpu: got %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	fc := doc.Benchmarks[0]
+	if fc.Name != "BenchmarkFrameCodec-8" || fc.Iterations != 1201886 {
+		t.Errorf("codec record: %+v", fc)
+	}
+	if fc.Metrics["ns/op"] != 996.5 || fc.Metrics["allocs/op"] != 0 {
+		t.Errorf("codec metrics: %+v", fc.Metrics)
+	}
+	fig := doc.Benchmarks[1]
+	if fig.Metrics["mean_µs"] != 195.1 || fig.Metrics["jitter_µs"] != 2.12 {
+		t.Errorf("custom metrics lost: %+v", fig.Metrics)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	doc, err := Parse(strings.NewReader("hello\nBenchmark\nBenchmarkX notanumber\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("want 0 benchmarks, got %+v", doc.Benchmarks)
+	}
+}

@@ -3,9 +3,16 @@
 //	tsnbench -exp all          # everything, paper scale
 //	tsnbench -exp table3       # just Table III
 //	tsnbench -exp fig7a -short # reduced workload
+//	tsnbench -exp all -parallel 1  # force fully serial sweeps
 //
 // Experiments: table1, fig2, table3, fig7a, fig7b, fig7c, fig7d, qos,
 // sync, itp, platform, all.
+//
+// Sweep points (independent build-and-run simulations) fan out on a
+// worker pool sized by -parallel (default GOMAXPROCS). Output is
+// byte-identical at every -parallel setting, including -metrics and
+// -csv exports: every sweep collects its rows and merges its telemetry
+// in sweep order regardless of worker scheduling.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
@@ -21,12 +29,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate platform all)")
-		short   = flag.Bool("short", false, "reduced workload for quick runs")
-		seed    = flag.Uint64("seed", 42, "workload seed")
-		csvDir  = flag.String("csv", "", "also write each latency series as CSV into this directory")
-		metPath = flag.String("metrics", "", "write accumulated telemetry (all runs, one registry) to this file ('-' for stdout)")
-		metJSON = flag.Bool("metrics-json", false, "export -metrics as JSON instead of Prometheus text")
+		exp      = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate platform all)")
+		short    = flag.Bool("short", false, "reduced workload for quick runs")
+		seed     = flag.Uint64("seed", 42, "workload seed")
+		csvDir   = flag.String("csv", "", "also write each latency series as CSV into this directory")
+		metPath  = flag.String("metrics", "", "write accumulated telemetry (all runs, one registry) to this file ('-' for stdout)")
+		metJSON  = flag.Bool("metrics-json", false, "export -metrics as JSON instead of Prometheus text")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size (1 = serial; output is identical at any setting)")
 	)
 	flag.Parse()
 	p := experiments.DefaultParams()
@@ -34,6 +43,7 @@ func main() {
 		p = experiments.ShortParams()
 	}
 	p.Seed = *seed
+	p.Parallel = *parallel
 	if *metPath != "" {
 		p.Metrics = metrics.New()
 	}

@@ -91,9 +91,30 @@ func (f *Frame) WireBytes() int {
 // (same as WireBytes; preamble/IFG are never buffered).
 func (f *Frame) BufferBytes() int { return f.WireBytes() }
 
-// Clone returns a deep copy. Switches forward copies so that per-hop
-// mutation (e.g. PTP correction fields) cannot alias.
-func (f *Frame) Clone() *Frame {
+// Payload ownership contract
+//
+// A frame's Payload is immutable from the instant the frame enters the
+// dataplane (NIC injection or Unmarshal). Per-hop forwarding therefore
+// copies only the header via CloneHeader — the payload bytes are shared
+// by every copy in flight, which removes the dominant per-hop
+// allocation of the simulator. Header fields (VID, PCP, addresses) on
+// a CloneHeader copy are the copy's own and may be rewritten freely
+// (FRER re-tagging does). A path that genuinely needs to rewrite
+// payload bytes (a PTP correction-field rewrite in place, fault-model
+// bit corruption) must take ownership first with CloneDeep.
+
+// CloneHeader returns a copy of the frame that shares the payload
+// bytes — the cheap per-hop copy of the forwarding path. The copy's
+// header fields are independent; its Payload aliases the original and
+// must be treated as read-only per the payload ownership contract.
+func (f *Frame) CloneHeader() *Frame {
+	g := *f
+	return &g
+}
+
+// CloneDeep returns a fully independent copy, payload included. Use it
+// on the rare paths that mutate payload bytes in place.
+func (f *Frame) CloneDeep() *Frame {
 	g := *f
 	g.Payload = append([]byte(nil), f.Payload...)
 	return &g
@@ -103,37 +124,76 @@ func (f *Frame) Clone() *Frame {
 // Marshal prepends to TypeTSN payloads.
 const testerHeaderBytes = 4 + 4 + 1 + 8
 
-// Marshal encodes the frame to wire format (without preamble/FCS
-// padding bytes are zero). The tester metadata is embedded at the front
-// of the payload for TypeTSN frames, mirroring what the hardware TSNNic
-// does.
-func (f *Frame) Marshal() []byte {
-	body := f.Payload
+// MarshaledBytes returns the exact encoded size of the frame: header,
+// VLAN tag, tester metadata (TypeTSN only) and payload.
+func (f *Frame) MarshaledBytes() int {
+	n := HeaderBytes + VLANTagBytes + len(f.Payload)
 	if f.EtherType == TypeTSN {
-		hdr := make([]byte, testerHeaderBytes)
-		binary.BigEndian.PutUint32(hdr[0:], f.FlowID)
-		binary.BigEndian.PutUint32(hdr[4:], f.Seq)
-		hdr[8] = byte(f.Class)
-		binary.BigEndian.PutUint64(hdr[9:], uint64(f.SentAt))
-		body = append(hdr, f.Payload...)
+		n += testerHeaderBytes
 	}
-	buf := make([]byte, 0, HeaderBytes+VLANTagBytes+len(body))
-	buf = append(buf, f.Dst[:]...)
-	buf = append(buf, f.Src[:]...)
-	var tag [4]byte
-	binary.BigEndian.PutUint16(tag[0:], TypeVLAN)
-	tci := uint16(f.PCP&0x7)<<13 | f.VID&0x0fff
-	binary.BigEndian.PutUint16(tag[2:], tci)
-	buf = append(buf, tag[:]...)
-	var et [2]byte
-	binary.BigEndian.PutUint16(et[:], f.EtherType)
-	buf = append(buf, et[:]...)
-	buf = append(buf, body...)
-	return buf
+	return n
 }
 
-// Unmarshal decodes a frame previously produced by Marshal.
+// AppendMarshal encodes the frame to wire format appended to dst and
+// returns the extended slice — the allocation-free codec path when the
+// caller recycles its buffer. The tester metadata is embedded at the
+// front of the payload for TypeTSN frames, mirroring what the hardware
+// TSNNic does.
+func (f *Frame) AppendMarshal(dst []byte) []byte {
+	need := f.MarshaledBytes()
+	off := len(dst)
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	b := dst[off:]
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], TypeVLAN)
+	tci := uint16(f.PCP&0x7)<<13 | f.VID&0x0fff
+	binary.BigEndian.PutUint16(b[14:16], tci)
+	binary.BigEndian.PutUint16(b[16:18], f.EtherType)
+	body := b[HeaderBytes+VLANTagBytes:]
+	if f.EtherType == TypeTSN {
+		binary.BigEndian.PutUint32(body[0:], f.FlowID)
+		binary.BigEndian.PutUint32(body[4:], f.Seq)
+		body[8] = byte(f.Class)
+		binary.BigEndian.PutUint64(body[9:], uint64(f.SentAt))
+		body = body[testerHeaderBytes:]
+	}
+	copy(body, f.Payload)
+	return dst
+}
+
+// Marshal encodes the frame into one exactly-sized fresh buffer.
+func (f *Frame) Marshal() []byte {
+	return f.AppendMarshal(make([]byte, 0, f.MarshaledBytes()))
+}
+
+// Unmarshal decodes a frame previously produced by Marshal. The
+// returned frame owns its payload (the relevant bytes of b are
+// copied), so b may be reused or mutated freely afterwards.
 func Unmarshal(b []byte) (*Frame, error) {
+	f, err := UnmarshalNoCopy(b)
+	if err != nil {
+		return nil, err
+	}
+	f.Payload = append([]byte(nil), f.Payload...)
+	return f, nil
+}
+
+// UnmarshalNoCopy decodes a frame without copying the payload: the
+// returned frame's Payload aliases b.
+//
+// Aliasing rule: the frame is only valid while b is — callers must not
+// retain the frame past the lifetime (or next reuse) of b, and must
+// not mutate b while the frame is live. It is meant for transient
+// read paths (the pcap reader, analyzers) that decode, inspect and
+// discard; anything that keeps the frame must use Unmarshal, which
+// owns its buffer.
+func UnmarshalNoCopy(b []byte) (*Frame, error) {
 	if len(b) < HeaderBytes+VLANTagBytes {
 		return nil, errors.New("ethernet: frame too short")
 	}
@@ -158,7 +218,7 @@ func Unmarshal(b []byte) (*Frame, error) {
 		f.SentAt = sim.Time(binary.BigEndian.Uint64(body[9:]))
 		body = body[testerHeaderBytes:]
 	}
-	f.Payload = append([]byte(nil), body...)
+	f.Payload = body
 	return f, nil
 }
 

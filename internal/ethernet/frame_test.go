@@ -138,13 +138,26 @@ func TestWireBytesMinimum(t *testing.T) {
 	}
 }
 
-func TestClone(t *testing.T) {
+func TestCloneDeep(t *testing.T) {
 	f := &Frame{Payload: []byte{1, 2, 3}, FlowID: 9}
-	g := f.Clone()
+	g := f.CloneDeep()
 	g.Payload[0] = 99
 	g.FlowID = 10
 	if f.Payload[0] != 1 || f.FlowID != 9 {
-		t.Error("Clone aliases original")
+		t.Error("CloneDeep aliases original")
+	}
+}
+
+func TestCloneHeaderSharesPayload(t *testing.T) {
+	f := &Frame{Payload: []byte{1, 2, 3}, FlowID: 9, VID: 7}
+	g := f.CloneHeader()
+	g.FlowID = 10
+	g.VID = 8
+	if f.FlowID != 9 || f.VID != 7 {
+		t.Error("CloneHeader header fields alias original")
+	}
+	if &g.Payload[0] != &f.Payload[0] {
+		t.Error("CloneHeader copied the payload; want shared bytes")
 	}
 }
 
@@ -224,5 +237,69 @@ func TestTxTimeMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	for _, f := range []*Frame{
+		{Dst: HostMAC(1), Src: HostMAC(2), VID: 100, PCP: 7, EtherType: TypeTSN,
+			Payload: []byte{1, 2, 3, 4}, FlowID: 5, Seq: 6, Class: ClassTS, SentAt: 777},
+		{Dst: HostMAC(3), Src: HostMAC(4), VID: 1, PCP: 0, EtherType: TypeVLAN,
+			Payload: []byte{9, 8}},
+		{EtherType: TypePTP},
+	} {
+		want := f.Marshal()
+		if len(want) != f.MarshaledBytes() {
+			t.Fatalf("MarshaledBytes = %d, Marshal produced %d", f.MarshaledBytes(), len(want))
+		}
+		got := f.AppendMarshal(nil)
+		if string(got) != string(want) {
+			t.Fatalf("AppendMarshal(nil) = %x, want %x", got, want)
+		}
+		// Appending after a prefix keeps the prefix and encodes after it.
+		pre := f.AppendMarshal([]byte{0xAA, 0xBB})
+		if pre[0] != 0xAA || pre[1] != 0xBB || string(pre[2:]) != string(want) {
+			t.Fatalf("AppendMarshal with prefix mangled output")
+		}
+	}
+}
+
+func TestAppendMarshalReusedBufferZeroAlloc(t *testing.T) {
+	f := &Frame{Dst: HostMAC(1), Src: HostMAC(2), VID: 100, PCP: 7,
+		EtherType: TypeTSN, Payload: make([]byte, 1000), FlowID: 1, Seq: 2, Class: ClassTS}
+	buf := f.AppendMarshal(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = f.AppendMarshal(buf[:0])
+	})
+	if allocs > 0 {
+		t.Fatalf("AppendMarshal into recycled buffer allocated %.1f/run, want 0", allocs)
+	}
+}
+
+func TestUnmarshalNoCopyAliases(t *testing.T) {
+	f := &Frame{Dst: HostMAC(1), Src: HostMAC(2), VID: 9, PCP: 3,
+		EtherType: TypeTSN, Payload: []byte{10, 20, 30}, FlowID: 4, Seq: 5, Class: ClassRC}
+	buf := f.Marshal()
+	g, err := UnmarshalNoCopy(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FlowID != 4 || g.Seq != 5 || g.Class != ClassRC || len(g.Payload) != 3 {
+		t.Fatalf("UnmarshalNoCopy decoded %+v", g)
+	}
+	// The no-copy payload aliases the input buffer.
+	buf[len(buf)-3] = 99
+	if g.Payload[0] != 99 {
+		t.Error("UnmarshalNoCopy payload does not alias input")
+	}
+	// The copying variant owns its bytes.
+	buf2 := f.Marshal()
+	h, err := Unmarshal(buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf2[len(buf2)-3] = 99
+	if h.Payload[0] != 10 {
+		t.Error("Unmarshal payload aliases input; want owned copy")
 	}
 }

@@ -32,7 +32,7 @@ type CBSRow struct {
 // limiting the bandwidth of RC queues for alleviating the traffic
 // burst" (§III.A).
 func CBSStudy(p Params) ([]CBSRow, error) {
-	build := func(disableCBS bool) (*testbed.Net, error) {
+	build := func(rp Params, disableCBS bool) (*testbed.Net, error) {
 		topo := topology.Ring(3)
 		topo.AttachHost(100, 0) // RC source
 		topo.AttachHost(101, 0) // BE source
@@ -46,7 +46,7 @@ func CBSStudy(p Params) ([]CBSRow, error) {
 		ts := flows.GenerateTS(flows.TSParams{
 			Count: 4, Period: 10 * sim.Millisecond, WireSize: 64, VID: 1,
 			Hosts: func(i int) (int, int) { return 100, 102 },
-			Seed:  p.Seed,
+			Seed:  rp.Seed,
 		})
 		for i, s := range ts {
 			s.VID = uint16(100 + i)
@@ -73,33 +73,33 @@ func CBSStudy(p Params) ([]CBSRow, error) {
 		}
 		return testbed.Build(testbed.Options{
 			Design: design, Topo: topo, Flows: specs,
-			DisableCBS: disableCBS, Seed: p.Seed,
+			DisableCBS: disableCBS, Seed: rp.Seed,
 		})
 	}
 
-	var rows []CBSRow
-	for _, c := range []struct {
+	configs := []struct {
 		label   string
 		disable bool
 	}{
 		{"strict priority only", true},
 		{"CBS shaped", false},
-	} {
-		net, err := build(c.disable)
+	}
+	return sweep(p, len(configs), func(i int, rp Params) (CBSRow, error) {
+		c := configs[i]
+		net, err := build(rp, c.disable)
 		if err != nil {
-			return nil, err
+			return CBSRow{}, err
 		}
-		net.Run(0, p.Duration)
+		net.Run(0, rp.Duration)
 		rc := net.Summary(ethernet.ClassRC)
 		be := net.Summary(ethernet.ClassBE)
-		rows = append(rows, CBSRow{
+		return CBSRow{
 			Config: c.label,
 			RCMean: rc.MeanLatency, RCJitter: rc.Jitter,
 			BEMean: be.MeanLatency, BEMax: be.MaxLat, BEP99: be.P99,
 			BELoss: be.LossRate,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatCBS renders the study.

@@ -23,27 +23,27 @@ type DeadlineRow struct {
 // pushing the slot toward 260 µs and beyond erodes it until the 1 ms
 // deadline class starts missing.
 func DeadlineStudy(p Params) ([]DeadlineRow, error) {
-	var rows []DeadlineRow
-	for _, slot := range []sim.Time{65 * sim.Microsecond, 130 * sim.Microsecond,
-		260 * sim.Microsecond, 390 * sim.Microsecond, 520 * sim.Microsecond} {
-		rb, err := buildRing(benchSpec{p: p, hops: 3, slot: slot})
+	slots := []sim.Time{65 * sim.Microsecond, 130 * sim.Microsecond,
+		260 * sim.Microsecond, 390 * sim.Microsecond, 520 * sim.Microsecond}
+	return sweep(p, len(slots), func(i int, rp Params) (DeadlineRow, error) {
+		slot := slots[i]
+		rb, err := buildRing(benchSpec{p: rp, hops: 3, slot: slot})
 		if err != nil {
-			return nil, err
+			return DeadlineRow{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		missRate := 0.0
 		if row.Received > 0 {
 			missRate = float64(row.DeadlineMisses) / float64(row.Received)
 		}
-		rows = append(rows, DeadlineRow{
+		return DeadlineRow{
 			Slot:       slot,
 			MeanLat:    row.Mean,
 			MaxLat:     row.Max,
 			MissRate:   missRate,
 			TightBound: 4 * slot,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatDeadline renders the study.

@@ -32,12 +32,13 @@ type DesyncRow struct {
 // magnitude.
 func DesyncStudy(p Params) ([]DesyncRow, error) {
 	slot := 65 * sim.Microsecond
-	var rows []DesyncRow
-	for _, offset := range []sim.Time{0, sim.Microsecond, 8 * sim.Microsecond,
-		16 * sim.Microsecond, 32 * sim.Microsecond, 65 * sim.Microsecond} {
-		rb, err := buildRing(benchSpec{p: p, hops: 3})
+	offsets := []sim.Time{0, sim.Microsecond, 8 * sim.Microsecond,
+		16 * sim.Microsecond, 32 * sim.Microsecond, 65 * sim.Microsecond}
+	return sweep(p, len(offsets), func(i int, rp Params) (DesyncRow, error) {
+		offset := offsets[i]
+		rb, err := buildRing(benchSpec{p: rp, hops: 3})
 		if err != nil {
-			return nil, err
+			return DesyncRow{}, err
 		}
 		// Desynchronize every other switch.
 		for s, sw := range rb.Net.Switches {
@@ -45,17 +46,16 @@ func DesyncStudy(p Params) ([]DesyncRow, error) {
 				sw.Clock = clock.New(0, offset)
 			}
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		bound := 4 * slot // (hops+1)·slot for 3-switch paths
-		rows = append(rows, DesyncRow{
+		return DesyncRow{
 			Offset: offset,
 			Mean:   row.Mean, Jitter: row.Jitter, Max: row.Max,
 			LossRate:   row.LossRate,
 			BoundBreak: row.Max > bound+2*sim.Microsecond,
 			HighWater:  rb.Net.MaxQueueHighWater(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatDesync renders the study.

@@ -83,24 +83,6 @@ type ITPRow struct {
 // zero injection versus planned offsets, for the paper's 1024-flow
 // ring workload.
 func ITPAblation(p Params) ([]ITPRow, error) {
-	topo := topology.Ring(6)
-	for h := 0; h < 6; h++ {
-		topo.AttachHost(100+h, h)
-	}
-	specs := flows.GenerateTS(flows.TSParams{
-		Count:    p.TSFlows,
-		Period:   10 * sim.Millisecond,
-		WireSize: 64,
-		VID:      1,
-		Hosts: func(i int) (int, int) {
-			src := i % 6
-			return 100 + src, 100 + (src+2)%6
-		},
-		Seed: p.Seed,
-	})
-	if err := core.BindPaths(topo, specs); err != nil {
-		return nil, err
-	}
 	slot := 65 * sim.Microsecond
 
 	row := func(strategy string, occupancy int) ITPRow {
@@ -115,12 +97,33 @@ func ITPAblation(p Params) ([]ITPRow, error) {
 
 	// The full strategy spectrum of §V: naive zero offsets, blind
 	// round-robin and random spreading, and the greedy ITP planner.
-	var rows []ITPRow
-	for _, st := range []itp.Strategy{itp.StrategyNaive, itp.StrategyRandom,
-		itp.StrategyRoundRobin, itp.StrategyGreedy} {
-		plan, err := itp.ComputeWith(specs, slot, nil, st, p.Seed)
+	// Each sweep point regenerates its own spec set so the points stay
+	// self-contained under the parallel harness.
+	strategies := []itp.Strategy{itp.StrategyNaive, itp.StrategyRandom,
+		itp.StrategyRoundRobin, itp.StrategyGreedy}
+	return sweep(p, len(strategies), func(i int, rp Params) (ITPRow, error) {
+		st := strategies[i]
+		topo := topology.Ring(6)
+		for h := 0; h < 6; h++ {
+			topo.AttachHost(100+h, h)
+		}
+		specs := flows.GenerateTS(flows.TSParams{
+			Count:    rp.TSFlows,
+			Period:   10 * sim.Millisecond,
+			WireSize: 64,
+			VID:      1,
+			Hosts: func(i int) (int, int) {
+				src := i % 6
+				return 100 + src, 100 + (src+2)%6
+			},
+			Seed: rp.Seed,
+		})
+		if err := core.BindPaths(topo, specs); err != nil {
+			return ITPRow{}, err
+		}
+		plan, err := itp.ComputeWith(specs, slot, nil, st, rp.Seed)
 		if err != nil {
-			return nil, err
+			return ITPRow{}, err
 		}
 		label := st.String()
 		switch st {
@@ -129,9 +132,8 @@ func ITPAblation(p Params) ([]ITPRow, error) {
 		case itp.StrategyGreedy:
 			label = "ITP (greedy)"
 		}
-		rows = append(rows, row(label, plan.MaxOccupancy))
-	}
-	return rows, nil
+		return row(label, plan.MaxOccupancy), nil
+	})
 }
 
 // FormatITP renders the ablation rows.

@@ -22,29 +22,37 @@ func Fig2(p Params, background string, caseCfg int) (*Series, error) {
 	default:
 		return nil, fmt.Errorf("experiments: unknown Table I case %d", caseCfg)
 	}
+	switch background {
+	case "BE", "RC":
+	default:
+		return nil, fmt.Errorf("experiments: unknown background class %q", background)
+	}
 	s := &Series{
 		Name:  fmt.Sprintf("Fig. 2(%s) — TS latency vs %s background (Case %d)", background, background, caseCfg),
 		XAxis: background + "(Mbps)",
 	}
-	for _, mbps := range []int{0, 200, 400, 600, 800} {
-		bs := benchSpec{p: p, hops: 3, useConfig: &cfg}
-		switch background {
-		case "BE":
+	sweepMbps := []int{0, 200, 400, 600, 800}
+	rows, err := sweep(p, len(sweepMbps), func(i int, rp Params) (Row, error) {
+		mbps := sweepMbps[i]
+		bs := benchSpec{p: rp, hops: 3, useConfig: &cfg}
+		if background == "BE" {
 			bs.beMbps = mbps
-		case "RC":
+		} else {
 			bs.rcMbps = mbps
-		default:
-			return nil, fmt.Errorf("experiments: unknown background class %q", background)
 		}
 		rb, err := buildRing(bs)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		row.Label = fmt.Sprintf("%dMbps", mbps)
 		row.X = float64(mbps)
-		s.Rows = append(s.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -53,16 +61,21 @@ func Fig2(p Params, background string, caseCfg int) (*Series, error) {
 // latency ≈ hops × slot, jitter roughly constant.
 func Fig7Hops(p Params) (*Series, error) {
 	s := &Series{Name: "Fig. 7(a) — E2E latency under different hops", XAxis: "hops"}
-	for hops := 1; hops <= 4; hops++ {
-		rb, err := buildRing(benchSpec{p: p, hops: hops})
+	rows, err := sweep(p, 4, func(i int, rp Params) (Row, error) {
+		hops := i + 1
+		rb, err := buildRing(benchSpec{p: rp, hops: hops})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		row.Label = fmt.Sprintf("%d", hops)
 		row.X = float64(hops)
-		s.Rows = append(s.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -70,16 +83,22 @@ func Fig7Hops(p Params) (*Series, error) {
 // sizes. Expected shape: slight increase with size (serialization).
 func Fig7PktSize(p Params) (*Series, error) {
 	s := &Series{Name: "Fig. 7(b) — E2E latency under different packet sizes", XAxis: "size(B)"}
-	for _, size := range []int{64, 128, 256, 512, 1024, 1500} {
-		rb, err := buildRing(benchSpec{p: p, hops: 3, wireSize: size})
+	sizes := []int{64, 128, 256, 512, 1024, 1500}
+	rows, err := sweep(p, len(sizes), func(i int, rp Params) (Row, error) {
+		size := sizes[i]
+		rb, err := buildRing(benchSpec{p: rp, hops: 3, wireSize: size})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		row.Label = fmt.Sprintf("%dB", size)
 		row.X = float64(size)
-		s.Rows = append(s.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -87,17 +106,23 @@ func Fig7PktSize(p Params) (*Series, error) {
 // Expected shape: mean latency and jitter scale with the slot.
 func Fig7Slot(p Params) (*Series, error) {
 	s := &Series{Name: "Fig. 7(c) — E2E latency under different time slots", XAxis: "slot(µs)"}
-	for _, slot := range []sim.Time{65 * sim.Microsecond, 130 * sim.Microsecond,
-		260 * sim.Microsecond, 520 * sim.Microsecond} {
-		rb, err := buildRing(benchSpec{p: p, hops: 3, slot: slot})
+	slots := []sim.Time{65 * sim.Microsecond, 130 * sim.Microsecond,
+		260 * sim.Microsecond, 520 * sim.Microsecond}
+	rows, err := sweep(p, len(slots), func(i int, rp Params) (Row, error) {
+		slot := slots[i]
+		rb, err := buildRing(benchSpec{p: rp, hops: 3, slot: slot})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		row.Label = slot.String()
 		row.X = slot.Micros()
-		s.Rows = append(s.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -106,16 +131,22 @@ func Fig7Slot(p Params) (*Series, error) {
 // latency or jitter, zero TS loss.
 func Fig7Background(p Params) (*Series, error) {
 	s := &Series{Name: "Fig. 7(d) — E2E latency under different background flows", XAxis: "each(Mbps)"}
-	for _, mbps := range []int{0, 100, 200, 300, 400} {
-		rb, err := buildRing(benchSpec{p: p, hops: 3, rcMbps: mbps, beMbps: mbps})
+	sweepMbps := []int{0, 100, 200, 300, 400}
+	rows, err := sweep(p, len(sweepMbps), func(i int, rp Params) (Row, error) {
+		mbps := sweepMbps[i]
+		rb, err := buildRing(benchSpec{p: rp, hops: 3, rcMbps: mbps, beMbps: mbps})
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		row.Label = fmt.Sprintf("%dMbps", mbps)
 		row.X = float64(mbps)
-		s.Rows = append(s.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.Rows = rows
 	return s, nil
 }
 
@@ -125,20 +156,26 @@ func Fig7Background(p Params) (*Series, error) {
 func CommercialVsCustomizedQoS(p Params) (*Series, error) {
 	s := &Series{Name: "QoS equivalence — commercial vs customized resources", XAxis: "config"}
 	commercial := core.CommercialProfile()
-	for _, c := range []struct {
+	configs := []struct {
 		label string
 		cfg   *core.Config
 	}{
 		{"commercial", &commercial},
 		{"customized", nil},
-	} {
-		rb, err := buildRing(benchSpec{p: p, hops: 3, rcMbps: 100, beMbps: 100, useConfig: c.cfg})
-		if err != nil {
-			return nil, err
-		}
-		row := rb.run(p, 0)
-		row.Label = c.label
-		s.Rows = append(s.Rows, row)
 	}
+	rows, err := sweep(p, len(configs), func(i int, rp Params) (Row, error) {
+		c := configs[i]
+		rb, err := buildRing(benchSpec{p: rp, hops: 3, rcMbps: 100, beMbps: 100, useConfig: c.cfg})
+		if err != nil {
+			return Row{}, err
+		}
+		row := rb.run(rp, 0)
+		row.Label = c.label
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Rows = rows
 	return s, nil
 }

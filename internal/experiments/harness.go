@@ -76,8 +76,16 @@ type Params struct {
 	// Seed drives workload randomization.
 	Seed uint64
 	// Metrics, when non-nil, instruments every built network into this
-	// registry (cmd/tsnbench -metrics).
+	// registry (cmd/tsnbench -metrics). Under the parallel harness each
+	// sweep point instruments a scratch registry that is merged back in
+	// sweep order (see pool.go), so the export does not depend on
+	// worker scheduling.
 	Metrics *metrics.Registry
+	// Parallel bounds the sweep worker pool: sweep points (independent
+	// build-and-run pairs) run on up to this many goroutines. 1 is
+	// fully serial; 0 (the default) uses runtime.GOMAXPROCS(0). Output
+	// is byte-identical at every setting.
+	Parallel int
 }
 
 // DefaultParams reproduces the paper's workload scale.

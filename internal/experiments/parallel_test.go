@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+)
+
+// TestParallelDeterminism is the harness's core guarantee: the same
+// sweep run serially and on an oversubscribed worker pool produces
+// byte-identical output.
+func TestParallelDeterminism(t *testing.T) {
+	serial := ShortParams()
+	serial.Parallel = 1
+	par := ShortParams()
+	par.Parallel = 8
+
+	s1, err := Fig7Hops(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s8, err := Fig7Hops(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CSV() != s8.CSV() {
+		t.Errorf("Fig7Hops CSV differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+			s1.CSV(), s8.CSV())
+	}
+	if s1.String() != s8.String() {
+		t.Errorf("Fig7Hops table rendering differs between -parallel 1 and -parallel 8")
+	}
+}
+
+// TestParallelMetricsParity checks the scratch-and-merge telemetry
+// path: the accumulated registry export must not depend on worker
+// count or completion order.
+func TestParallelMetricsParity(t *testing.T) {
+	export := func(parallel int) string {
+		p := ShortParams()
+		p.Parallel = parallel
+		p.Metrics = metrics.New()
+		if _, err := Fig7Hops(p); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := p.Metrics.Snapshot().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := export(1)
+	par := export(8)
+	if serial == "" {
+		t.Fatal("serial export is empty — instrumentation not wired?")
+	}
+	if serial != par {
+		t.Errorf("metrics export differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+			serial, par)
+	}
+}
+
+// TestSweepErrorPropagation: the lowest-index error wins regardless of
+// worker scheduling, matching the serial loop's behavior.
+func TestSweepErrorPropagation(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, parallel := range []int{1, 8} {
+		p := ShortParams()
+		p.Parallel = parallel
+		_, err := sweep(p, 16, func(i int, rp Params) (int, error) {
+			if i == 3 || i == 11 {
+				return 0, errBoom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errBoom) {
+			t.Errorf("parallel=%d: want errBoom, got %v", parallel, err)
+		}
+	}
+}
+
+// TestSweepOrderAndCoverage: every index runs at most once and results
+// land at their sweep position.
+func TestSweepOrderAndCoverage(t *testing.T) {
+	const n = 64
+	var calls atomic.Int64
+	p := ShortParams()
+	p.Parallel = 8
+	out, err := sweep(p, n, func(i int, rp Params) (int, error) {
+		calls.Add(1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != n {
+		t.Errorf("want %d calls, got %d", n, got)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+)
+
+// The parallel sweep harness.
+//
+// Every experiment is an x-axis sweep whose points are self-contained
+// build-and-run pairs: each point constructs its own sim.Engine,
+// topology, flow set and network from (Params, index) alone, so points
+// share no mutable state and can run on any OS thread. sweep fans the
+// points out over a bounded worker pool and collects results back in
+// sweep order, which makes the output — Series rows, CSV bytes,
+// formatted tables — independent of worker count and completion order.
+//
+// Telemetry isolation: handle operations (Counter.Inc etc.) are
+// deliberately unsynchronized, so workers must never share a live
+// registry. When Params.Metrics is set, every point runs against its
+// own scratch registry and the harness folds the scratch registries
+// into Params.Metrics in sweep order after the pool drains
+// (metrics.Registry.Merge). The serial path (Parallel=1) goes through
+// the identical scratch-and-merge sequence, so serial and parallel
+// exports are byte-identical by construction.
+
+// workers resolves the sweep fan-out width from Params.
+func (p Params) workers() int {
+	if p.Parallel > 0 {
+		return p.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// rowParams derives the Params a single sweep point runs under: the
+// same workload scale and seed, but an isolated scratch metrics
+// registry (when telemetry is on) so concurrent points never touch the
+// same cells.
+func rowParams(p Params) Params {
+	rp := p
+	if p.Metrics != nil {
+		rp.Metrics = metrics.New()
+	}
+	return rp
+}
+
+// sweep runs fn(i, rowParams) for every i in [0, n) across the worker
+// pool and returns the results in sweep order. fn must be
+// self-contained per the package contract above. On error the
+// lowest-index error wins (matching what a serial loop would have
+// returned), scratch telemetry of rows past it is discarded, and the
+// partial prefix is still merged so serial and parallel error paths
+// leave identical registry state.
+func sweep[T any](p Params, n int, fn func(i int, rp Params) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var regs []*metrics.Registry
+	if p.Metrics != nil {
+		regs = make([]*metrics.Registry, n)
+	}
+
+	runOne := func(i int, rp Params) {
+		if regs != nil {
+			regs[i] = rp.Metrics
+		}
+		out[i], errs[i] = fn(i, rp)
+	}
+
+	if w := min(p.workers(), n); w <= 1 {
+		for i := 0; i < n; i++ {
+			runOne(i, rowParams(p))
+			if errs[i] != nil {
+				break // a serial sweep stops at the first error
+			}
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= n {
+						return
+					}
+					runOne(i, rowParams(p))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	firstErr := -1
+	for i, err := range errs {
+		if err != nil {
+			firstErr = i
+			break
+		}
+	}
+	if p.Metrics != nil {
+		for i, reg := range regs {
+			if firstErr >= 0 && i >= firstErr {
+				break
+			}
+			if reg != nil {
+				p.Metrics.Merge(reg)
+			}
+		}
+	}
+	if firstErr >= 0 {
+		return nil, errs[firstErr]
+	}
+	return out, nil
+}

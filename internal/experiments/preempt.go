@@ -33,7 +33,7 @@ type PreemptRow struct {
 // which is why the paper's evaluation doesn't need preemption — this
 // study shows what the MAC feature buys an ungated design.)
 func PreemptStudy(p Params) ([]PreemptRow, error) {
-	run := func(preempt bool) (PreemptRow, error) {
+	run := func(rp Params, preempt bool) (PreemptRow, error) {
 		engine := sim.NewEngine()
 		cfg := tsnswitch.Config{
 			ID: 0, Ports: 2, QueuesPerPort: 8, QueueDepth: 64,
@@ -73,7 +73,7 @@ func PreemptStudy(p Params) ([]PreemptRow, error) {
 		// on the same egress port.
 		be := flows.Background(2, ethernet.ClassBE, 1, 2, 2, 900*ethernet.Mbps)
 		be.WireSize = 1500
-		stop := p.Duration
+		stop := rp.Duration
 		src.SetStopTime(stop)
 		src.StartFlow(be)
 		src.StartFlow(ts)
@@ -93,15 +93,9 @@ func PreemptStudy(p Params) ([]PreemptRow, error) {
 		}, nil
 	}
 
-	var rows []PreemptRow
-	for _, preempt := range []bool{false, true} {
-		row, err := run(preempt)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return sweep(p, 2, func(i int, rp Params) (PreemptRow, error) {
+		return run(rp, i == 1)
+	})
 }
 
 // FormatPreempt renders the study.

@@ -31,13 +31,13 @@ type RateRow struct {
 // latency; infeasible ones back up the access port until frames drop.
 func RateStudy(p Params) ([]RateRow, error) {
 	slot := 65 * sim.Microsecond
-	run := func(accessMbps int) (RateRow, error) {
+	run := func(rp Params, accessMbps int) (RateRow, error) {
 		topo := topology.Ring(6)
 		for h := 0; h < 6; h++ {
 			topo.AttachHost(100+h, h)
 		}
 		specs := flows.GenerateTS(flows.TSParams{
-			Count:    p.TSFlows,
+			Count:    rp.TSFlows,
 			Period:   10 * sim.Millisecond,
 			WireSize: 64,
 			VID:      1,
@@ -45,7 +45,7 @@ func RateStudy(p Params) ([]RateRow, error) {
 				src := i % 6
 				return 100 + src, 100 + (src+2)%6
 			},
-			Seed: p.Seed,
+			Seed: rp.Seed,
 		})
 		for i, s := range specs {
 			s.VID = uint16(1 + i%4000)
@@ -66,12 +66,12 @@ func RateStudy(p Params) ([]RateRow, error) {
 		issues := core.CheckSlotFeasibility(der.Plan, rate, 64)
 		net, err := testbed.Build(testbed.Options{
 			Design: design, Topo: topo, Flows: specs,
-			AccessRate: rate, Seed: p.Seed,
+			AccessRate: rate, Seed: rp.Seed,
 		})
 		if err != nil {
 			return RateRow{}, err
 		}
-		net.Run(0, p.Duration)
+		net.Run(0, rp.Duration)
 		s := net.Summary(ethernet.ClassTS)
 		return RateRow{
 			AccessMbps: accessMbps,
@@ -83,15 +83,10 @@ func RateStudy(p Params) ([]RateRow, error) {
 		}, nil
 	}
 
-	var rows []RateRow
-	for _, mbps := range []int{1000, 100, 30, 10} {
-		row, err := run(mbps)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	rates := []int{1000, 100, 30, 10}
+	return sweep(p, len(rates), func(i int, rp Params) (RateRow, error) {
+		return run(rp, rates[i])
+	})
 }
 
 // FormatRate renders the study.

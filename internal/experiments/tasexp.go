@@ -33,13 +33,13 @@ type TASRow struct {
 // zero) while the gate tables grow from 2 entries to one-plus entries
 // per scheduled window.
 func TASvsCQF(p Params) ([]TASRow, error) {
-	build := func() (*topology.Topology, []*flows.Spec, error) {
+	build := func(rp Params) (*topology.Topology, []*flows.Spec, error) {
 		topo := topology.Ring(6)
 		for h := 0; h < 6; h++ {
 			topo.AttachHost(100+h, h)
 		}
 		specs := flows.GenerateTS(flows.TSParams{
-			Count:    p.TSFlows,
+			Count:    rp.TSFlows,
 			Period:   10 * sim.Millisecond,
 			WireSize: 64,
 			VID:      1,
@@ -47,7 +47,7 @@ func TASvsCQF(p Params) ([]TASRow, error) {
 				src := i % 6
 				return 100 + src, 100 + (src+2)%6
 			},
-			Seed: p.Seed,
+			Seed: rp.Seed,
 		})
 		for i, s := range specs {
 			s.VID = uint16(1 + i%4000)
@@ -58,52 +58,48 @@ func TASvsCQF(p Params) ([]TASRow, error) {
 		return topo, specs, nil
 	}
 
-	var rows []TASRow
-
-	// --- CQF ---
-	{
-		topo, specs, err := build()
+	runCQF := func(rp Params) (TASRow, error) {
+		topo, specs, err := build(rp)
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		der, err := core.DeriveConfig(core.Scenario{Topo: topo, Flows: specs})
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		der.Plan.Apply(specs)
 		design, err := core.BuilderFor(der.Config, nil).Build()
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
-		net, err := testbed.Build(testbed.Options{Design: design, Topo: topo, Flows: specs, Seed: p.Seed})
+		net, err := testbed.Build(testbed.Options{Design: design, Topo: topo, Flows: specs, Seed: rp.Seed})
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
-		net.Run(0, p.Duration)
+		net.Run(0, rp.Duration)
 		s := net.Summary(ethernet.ClassTS)
-		rows = append(rows, TASRow{
+		return TASRow{
 			Mechanism: "CQF (gate_size=2)",
 			Mean:      s.MeanLatency, Jitter: s.Jitter, Max: s.MaxLat, LossRate: s.LossRate,
 			GateEntries: 2,
 			GateKb:      resource.GateTbl(2, 8, topo.EnabledTSNPorts).Kb(),
-		})
+		}, nil
 	}
 
-	// --- TAS ---
-	{
-		topo, specs, err := build()
+	runTAS := func(rp Params) (TASRow, error) {
+		topo, specs, err := build(rp)
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		// No background here, so the guard band only needs to absorb a
 		// TS frame.
 		sch, err := tas.Synthesize(specs, topo, tas.Options{MaxFrameBytes: 64})
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		der, err := core.DeriveConfig(core.Scenario{Topo: topo, Flows: specs})
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		cfg := der.Config
 		if sch.MaxGateEntries > cfg.GateSize {
@@ -111,26 +107,32 @@ func TASvsCQF(p Params) ([]TASRow, error) {
 		}
 		design, err := core.BuilderFor(cfg, nil).Build()
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
-		net, err := testbed.Build(testbed.Options{Design: design, Topo: topo, Flows: specs, Seed: p.Seed})
+		net, err := testbed.Build(testbed.Options{Design: design, Topo: topo, Flows: specs, Seed: rp.Seed})
 		if err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		if err := net.InstallTAS(sch); err != nil {
-			return nil, err
+			return TASRow{}, err
 		}
 		sch.Apply(specs)
-		net.Run(0, p.Duration)
+		net.Run(0, rp.Duration)
 		s := net.Summary(ethernet.ClassTS)
-		rows = append(rows, TASRow{
+		return TASRow{
 			Mechanism: fmt.Sprintf("TAS (gate_size=%d)", sch.MaxGateEntries),
 			Mean:      s.MeanLatency, Jitter: s.Jitter, Max: s.MaxLat, LossRate: s.LossRate,
 			GateEntries: sch.MaxGateEntries,
 			GateKb:      resource.GateTbl(sch.MaxGateEntries, 8, topo.EnabledTSNPorts).Kb(),
-		})
+		}, nil
 	}
-	return rows, nil
+
+	return sweep(p, 2, func(i int, rp Params) (TASRow, error) {
+		if i == 0 {
+			return runCQF(rp)
+		}
+		return runTAS(rp)
+	})
 }
 
 // FormatTAS renders the comparison.

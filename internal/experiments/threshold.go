@@ -28,21 +28,22 @@ type ThresholdRow struct {
 // expected shape: zero loss and unchanged latency above the threshold,
 // loss below it.
 func ThresholdStudy(p Params) ([]ThresholdRow, error) {
-	var rows []ThresholdRow
-	for _, depth := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+	depths := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	return sweep(p, len(depths), func(i int, rp Params) (ThresholdRow, error) {
+		depth := depths[i]
 		rb, err := buildRing(benchSpec{
-			p: p, hops: 3,
+			p: rp, hops: 3,
 			queueDepth: depth,
 			bufferNum:  depth * 8,
 			rcMbps:     100,
 			beMbps:     100,
 		})
 		if err != nil {
-			return nil, err
+			return ThresholdRow{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		kb := resource.Queues(depth, 8, 1).Kb() + resource.Buffers(depth*8, 1).Kb()
-		rows = append(rows, ThresholdRow{
+		return ThresholdRow{
 			QueueDepth: depth,
 			BufferNum:  depth * 8,
 			QueueBufKb: kb,
@@ -50,26 +51,25 @@ func ThresholdStudy(p Params) ([]ThresholdRow, error) {
 			MeanLat:    row.Mean,
 			Jitter:     row.Jitter,
 			HighWater:  rb.Net.MaxQueueHighWater(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // NoITPStudy runs the same network with planned versus naive (zero)
 // injection offsets on the same small provisioning, showing that ITP is
 // what keeps the customized depth feasible at run time.
 func NoITPStudy(p Params, depth int) (planned, naive ThresholdRow, err error) {
-	run := func(noITP bool) (ThresholdRow, error) {
+	rows, err := sweep(p, 2, func(i int, rp Params) (ThresholdRow, error) {
 		rb, err := buildRing(benchSpec{
-			p: p, hops: 3,
+			p: rp, hops: 3,
 			queueDepth: depth,
 			bufferNum:  depth * 8,
-			noITP:      noITP,
+			noITP:      i == 1,
 		})
 		if err != nil {
 			return ThresholdRow{}, err
 		}
-		row := rb.run(p, 0)
+		row := rb.run(rp, 0)
 		return ThresholdRow{
 			QueueDepth: depth,
 			BufferNum:  depth * 8,
@@ -78,12 +78,11 @@ func NoITPStudy(p Params, depth int) (planned, naive ThresholdRow, err error) {
 			Jitter:     row.Jitter,
 			HighWater:  rb.Net.MaxQueueHighWater(),
 		}, nil
+	})
+	if err != nil {
+		return ThresholdRow{}, ThresholdRow{}, err
 	}
-	if planned, err = run(false); err != nil {
-		return
-	}
-	naive, err = run(true)
-	return
+	return rows[0], rows[1], nil
 }
 
 // FormatThreshold renders the study.

@@ -1,0 +1,97 @@
+package metrics
+
+import "fmt"
+
+// Merge folds every instrument of src into r:
+//
+//   - counters and histograms accumulate (sums of sums, bucket-wise
+//     counts);
+//   - gauges take the maximum — high-water semantics, matching how the
+//     dataplane uses gauges (queue/pool/heap high waters via SetMax).
+//     Snapshot-style gauges (an occupancy at run end) are only
+//     meaningful per run and read as the cross-run worst after a merge;
+//   - help strings and family/sample registration order are preserved:
+//     families (and samples within a family) missing from r are
+//     appended in src's registration order, so merging the same run
+//     sequence in the same order always produces a byte-identical
+//     export.
+//
+// Merge is how the parallel experiment harness keeps the hot path
+// unsynchronized: every worker instruments its own scratch registry,
+// and the harness merges them back in sweep order once the rows are
+// done. Merging a registry into itself panics. Merge locks src while
+// copying and r while applying (never both), so concurrent snapshots
+// stay safe; two goroutines merging two registries into each other
+// concurrently is the caller's bug.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	if r == src {
+		panic("metrics: Merge of a registry into itself")
+	}
+	// Copy src's cells under its lock...
+	src.mu.Lock()
+	type cell struct {
+		name   string
+		help   string
+		kind   Kind
+		bounds []int64
+		labels []Label
+		c      uint64
+		g      int64
+		h      *histData
+	}
+	cells := make([]cell, 0, 64)
+	for _, f := range src.families {
+		for _, s := range f.samples {
+			c := cell{name: f.name, help: f.help, kind: f.kind, bounds: f.bounds, labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				c.c = *s.c
+			case KindGauge:
+				c.g = *s.g
+			case KindHistogram:
+				h := &histData{bounds: s.h.bounds, counts: append([]uint64(nil), s.h.counts...),
+					sum: s.h.sum, count: s.h.count}
+				c.h = h
+			}
+			cells = append(cells, c)
+		}
+		if f.kind == "" && f.help != "" {
+			// Help-only family (Help called before any instrument).
+			cells = append(cells, cell{name: f.name, help: f.help})
+		}
+	}
+	src.mu.Unlock()
+
+	// ...then apply under r's lock via the normal registration path, so
+	// family/sample ordering matches a serial run registering the same
+	// sequence.
+	for _, c := range cells {
+		if c.help != "" {
+			r.Help(c.name, c.help)
+		}
+		switch c.kind {
+		case KindCounter:
+			s := r.lookup(c.name, KindCounter, nil, c.labels)
+			*s.c += c.c
+		case KindGauge:
+			s := r.lookup(c.name, KindGauge, nil, c.labels)
+			if c.g > *s.g {
+				*s.g = c.g
+			}
+		case KindHistogram:
+			s := r.lookup(c.name, KindHistogram, c.bounds, c.labels)
+			if len(s.h.counts) != len(c.h.counts) {
+				panic(fmt.Sprintf("metrics: Merge of %s with mismatched bucket layouts (%d vs %d buckets)",
+					c.name, len(s.h.counts), len(c.h.counts)))
+			}
+			for i, n := range c.h.counts {
+				s.h.counts[i] += n
+			}
+			s.h.sum += c.h.sum
+			s.h.count += c.h.count
+		}
+	}
+}

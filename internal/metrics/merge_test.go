@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMergeCounters(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("hits", L("sw", "0")).Add(3)
+	b.Counter("hits", L("sw", "0")).Add(4)
+	b.Counter("hits", L("sw", "1")).Add(5)
+	a.Merge(b)
+	if got := a.CounterValue("hits", L("sw", "0")); got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if got := a.CounterValue("hits", L("sw", "1")); got != 5 {
+		t.Errorf("new-cell counter = %d, want 5", got)
+	}
+}
+
+func TestMergeGaugesTakeMax(t *testing.T) {
+	a, b := New(), New()
+	a.Gauge("hw").SetMax(10)
+	b.Gauge("hw").SetMax(4)
+	b.Gauge("hw2").SetMax(9)
+	a.Merge(b)
+	if got := a.GaugeValue("hw"); got != 10 {
+		t.Errorf("merged gauge = %d, want 10 (max)", got)
+	}
+	if got := a.GaugeValue("hw2"); got != 9 {
+		t.Errorf("new gauge = %d, want 9", got)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	bounds := []int64{10, 100}
+	a, b := New(), New()
+	ha := a.Histogram("lat", bounds)
+	hb := b.Histogram("lat", bounds)
+	ha.Observe(5)
+	hb.Observe(50)
+	hb.Observe(500)
+	a.Merge(b)
+	if got := a.Histogram("lat", bounds).Count(); got != 3 {
+		t.Errorf("merged histogram count = %d, want 3", got)
+	}
+}
+
+func TestMergeOrderIndependentOfWorkerCompletion(t *testing.T) {
+	// Two scratch registries merged in sweep order must export exactly
+	// like one registry accumulating the same registrations serially.
+	mk := func(seed uint64) *Registry {
+		r := New()
+		r.Help("x_total", "an x")
+		r.Counter("x_total", L("row", "0")).Add(seed)
+		r.Gauge("x_hw").SetMax(int64(seed))
+		return r
+	}
+	serial := New()
+	serial.Merge(mk(1))
+	serial.Merge(mk(2))
+
+	parallelStyle := New()
+	regs := []*Registry{mk(1), mk(2)} // workers finish in any order...
+	for _, r := range regs {          // ...but merge happens in sweep order
+		parallelStyle.Merge(r)
+	}
+
+	var s, p bytes.Buffer
+	if err := serial.Snapshot().WritePrometheus(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallelStyle.Snapshot().WritePrometheus(&p); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != p.String() {
+		t.Errorf("exports differ:\n--- serial ---\n%s--- merged ---\n%s", s.String(), p.String())
+	}
+}
+
+func TestMergeSelfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-merge did not panic")
+		}
+	}()
+	r := New()
+	r.Merge(r)
+}
+
+func TestMergeNilSafe(t *testing.T) {
+	var r *Registry
+	r.Merge(New()) // no-op
+	New().Merge(nil)
+}

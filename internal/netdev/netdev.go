@@ -202,7 +202,10 @@ func (i *Ifc) transmitBytes(f *ethernet.Frame, wireBytes int, onDone func()) *Tx
 	i.txBytes += uint64(wireBytes)
 
 	h := &TxHandle{ifc: i, frame: f, wireBytes: wireBytes, started: now}
-	deliver := f.Clone()
+	// Header-only copy: the receiver gets its own header fields but
+	// shares the payload bytes, which are immutable once in flight
+	// (see the ethernet payload ownership contract).
+	deliver := f.CloneHeader()
 	peer := i.peer
 	epoch := i.epoch
 	h.deliver = i.engine.After(wire+i.prop, "deliver:"+i.Name, func(e *sim.Engine) {

@@ -100,17 +100,26 @@ func TestBackToBackViaOnDone(t *testing.T) {
 	}
 }
 
-func TestTransmitClonesFrame(t *testing.T) {
+func TestTransmitClonesHeader(t *testing.T) {
+	// Delivery hands the receiver its own header copy: mutating the
+	// sender's header fields after Transmit must not reach the peer.
+	// (Payload bytes are deliberately shared — immutable in flight per
+	// the ethernet payload ownership contract — so only header fields
+	// are probed here.)
 	e := sim.NewEngine()
 	a, _, _, sb := pair(e, 0)
-	f := &ethernet.Frame{Payload: []byte{1}}
+	f := &ethernet.Frame{Seq: 1, VID: 7, Payload: []byte{1}}
 	e.After(0, "tx", func(*sim.Engine) {
 		a.Transmit(f, nil)
-		f.Payload[0] = 99 // mutate after transmit
+		f.Seq = 99 // mutate after transmit
+		f.VID = 99
 	})
 	e.Run()
-	if sb.frames[0].Payload[0] != 1 {
-		t.Fatal("delivered frame aliases sender's buffer")
+	if sb.frames[0].Seq != 1 || sb.frames[0].VID != 7 {
+		t.Fatal("delivered frame aliases sender's header")
+	}
+	if &sb.frames[0].Payload[0] != &f.Payload[0] {
+		t.Fatal("delivery deep-copied the payload; want shared bytes")
 	}
 }
 

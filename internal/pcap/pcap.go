@@ -28,6 +28,9 @@ type Writer struct {
 	w        io.Writer
 	wroteHdr bool
 	count    uint64
+	// buf is the recycled marshal buffer: steady-state captures write
+	// without allocating.
+	buf []byte
 }
 
 // NewWriter wraps w. The file header is written lazily with the first
@@ -56,15 +59,17 @@ func (pw *Writer) WriteFrame(at sim.Time, f *ethernet.Frame) error {
 	if err := pw.header(); err != nil {
 		return err
 	}
-	body := f.Marshal()
+	pw.buf = f.AppendMarshal(pw.buf[:0])
+	body := pw.buf
 	if len(body) > snapLen {
 		return fmt.Errorf("pcap: frame of %d bytes exceeds snap length", len(body))
 	}
 	// Pad to the minimum on-wire size so Wireshark sees a legal frame;
 	// the FCS is omitted as most captures do.
-	if pad := f.WireBytes() - ethernet.FCSBytes - len(body); pad > 0 {
-		body = append(body, make([]byte, pad)...)
+	for pad := f.WireBytes() - ethernet.FCSBytes - len(body); pad > 0; pad-- {
+		body = append(body, 0)
 	}
+	pw.buf = body
 	var rec [16]byte
 	sec := uint32(at / sim.Second)
 	nsec := uint32(at % sim.Second)

@@ -1,0 +1,83 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+func TestReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	// Payload large enough that the writer adds no minimum-size padding,
+	// so the decoded payload matches byte for byte.
+	frames := []*ethernet.Frame{
+		{Dst: ethernet.HostMAC(1), Src: ethernet.HostMAC(2), VID: 5, PCP: 7,
+			EtherType: ethernet.TypeTSN, Payload: make([]byte, 100),
+			FlowID: 11, Seq: 3, Class: ethernet.ClassTS, SentAt: 42},
+		{Dst: ethernet.HostMAC(3), Src: ethernet.HostMAC(4), VID: 9, PCP: 2,
+			EtherType: ethernet.TypeVLAN, Payload: make([]byte, 200)},
+	}
+	stamps := []sim.Time{3 * sim.Second, 3*sim.Second + 999*sim.Nanosecond}
+	for i, f := range frames {
+		f.Payload[0] = byte(i + 1)
+		if err := w.WriteFrame(stamps[i], f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		at, got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if at != stamps[i] {
+			t.Errorf("record %d: at = %v, want %v", i, at, stamps[i])
+		}
+		if got.Dst != want.Dst || got.Src != want.Src || got.VID != want.VID ||
+			got.PCP != want.PCP || got.EtherType != want.EtherType ||
+			got.FlowID != want.FlowID || got.Seq != want.Seq ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last record: err = %v, want io.EOF", err)
+	}
+	if r.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", r.Count())
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err == nil {
+		t.Fatal("zero magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	f := &ethernet.Frame{EtherType: ethernet.TypeTSN, Payload: make([]byte, 50)}
+	if err := w.WriteFrame(0, f); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(b[:len(b)-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated record: err = %v, want decode error", err)
+	}
+}

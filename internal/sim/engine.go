@@ -15,12 +15,18 @@ type Handler func(e *Engine)
 // scheduled for the same instant so execution order is deterministic
 // (FIFO in scheduling order), which keeps whole-network simulations
 // reproducible run to run.
+//
+// Popped and canceled events are recycled through the engine's free
+// list, so steady-state scheduling allocates nothing. gen increments on
+// every recycle; an EventRef snapshots it so a stale ref can never
+// resurrect (or cancel) a reused event.
 type event struct {
 	at    Time
 	seq   uint64
 	fn    Handler
 	index int // heap index, -1 once popped or canceled
 	label string
+	gen   uint32
 }
 
 // eventHeap implements container/heap ordered by (at, seq).
@@ -58,13 +64,17 @@ func (h *eventHeap) Pop() any {
 }
 
 // EventRef identifies a scheduled event so it can be canceled. The zero
-// value refers to no event.
+// value refers to no event. A ref is pinned to the scheduling it came
+// from: once the event fires or is canceled its slot may be recycled
+// for a later scheduling, and the ref (generation-checked) reports
+// invalid rather than aliasing the new occupant.
 type EventRef struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Valid reports whether the reference points at a still-pending event.
-func (r EventRef) Valid() bool { return r.ev != nil && r.ev.index >= 0 }
+func (r EventRef) Valid() bool { return r.ev != nil && r.ev.gen == r.gen && r.ev.index >= 0 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // not ready for use; construct with NewEngine.
@@ -73,6 +83,10 @@ type Engine struct {
 	queue   eventHeap
 	nextSeq uint64
 	stopped bool
+	// free recycles fired/canceled event structs so steady-state
+	// scheduling is allocation-free. Bounded by the worst concurrent
+	// pending-event count, not by total events executed.
+	free []*event
 	// Executed counts events run since construction; useful for
 	// progress accounting in benchmarks.
 	executed uint64
@@ -122,17 +136,41 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are waiting in the queue.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// alloc takes an event struct off the free list, or heap-allocates one
+// when the list is dry (cold start or a new pending-depth high water).
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped/canceled event to the free list. The
+// closure and label are cleared eagerly so a parked struct never
+// retains the callback's captured state, and the generation bump
+// invalidates every outstanding EventRef to this slot.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.label = ""
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at the absolute instant at. Scheduling in the
 // past (before Now) panics: it indicates a causality bug in the caller.
 func (e *Engine) At(at Time, label string, fn Handler) EventRef {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", label, at, e.now))
 	}
-	ev := &event{at: at, seq: e.nextSeq, fn: fn, label: label}
+	ev := e.alloc()
+	ev.at, ev.seq, ev.fn, ev.label = at, e.nextSeq, fn, label
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 	e.metHeapHW.SetMax(int64(len(e.queue)))
-	return EventRef{ev: ev}
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run delay after the current time.
@@ -144,12 +182,15 @@ func (e *Engine) After(delay Time, label string, fn Handler) EventRef {
 }
 
 // Cancel removes a pending event. Canceling an already-fired or
-// already-canceled event is a no-op and returns false.
+// already-canceled event is a no-op and returns false. The canceled
+// event's closure is released immediately (and its struct recycled), so
+// a canceled timer never pins its captured state.
 func (e *Engine) Cancel(r EventRef) bool {
 	if !r.Valid() {
 		return false
 	}
 	heap.Remove(&e.queue, r.ev.index)
+	e.recycle(r.ev)
 	return true
 }
 
@@ -174,7 +215,12 @@ func (e *Engine) step() bool {
 			e.progressFn(e.executed, e.now)
 		}
 	}
-	ev.fn(e)
+	// Recycle before dispatch: the handler's own follow-up scheduling
+	// (the self-rescheduling tick every periodic source uses) reuses
+	// this very struct, making the steady state allocation-free.
+	fn := ev.fn
+	e.recycle(ev)
+	fn(e)
 	return true
 }
 

@@ -233,3 +233,93 @@ func TestTimeConversions(t *testing.T) {
 		t.Error("Duration conversion wrong")
 	}
 }
+
+func TestEngineFreeListReuse(t *testing.T) {
+	e := NewEngine()
+	var tick Handler
+	n := 0
+	tick = func(en *Engine) {
+		n++
+		if n < 1000 {
+			en.After(1, "tick", tick)
+		}
+	}
+	e.After(1, "tick", tick)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 10 && e.step(); i++ {
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state self-rescheduling allocated %.1f/run, want 0", allocs)
+	}
+}
+
+func TestEngineStaleRefDoesNotCancelReusedSlot(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(10, "a", func(*Engine) {})
+	e.Run() // fires "a"; its struct returns to the free list
+
+	fired := false
+	fresh := e.At(20, "b", func(*Engine) { fired = true })
+	if stale.ev != fresh.ev {
+		t.Skip("free list did not reuse the slot; nothing to test")
+	}
+	if stale.Valid() {
+		t.Fatal("stale ref Valid after slot reuse")
+	}
+	if e.Cancel(stale) {
+		t.Fatal("stale ref canceled a reused slot")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("fresh event did not fire")
+	}
+	if fresh.Valid() {
+		t.Fatal("fired ref still Valid")
+	}
+}
+
+func TestEngineCancelReleasesClosure(t *testing.T) {
+	e := NewEngine()
+	big := make([]byte, 1<<20)
+	ref := e.At(10, "big", func(*Engine) { _ = big })
+	ev := ref.ev
+	if !e.Cancel(ref) {
+		t.Fatal("Cancel failed")
+	}
+	if ev.fn != nil || ev.label != "" {
+		t.Fatal("canceled event retains closure or label")
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list length = %d, want 1", len(e.free))
+	}
+}
+
+func TestEnginePopReleasesClosure(t *testing.T) {
+	e := NewEngine()
+	ref := e.At(10, "x", func(*Engine) {})
+	ev := ref.ev
+	e.Run()
+	if ev.fn != nil || ev.label != "" {
+		t.Fatal("fired event retains closure or label")
+	}
+}
+
+func TestEngineFreeListBoundedByPendingDepth(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.At(Time(i), "x", func(*Engine) {})
+	}
+	e.Run()
+	if len(e.free) > 64 {
+		t.Fatalf("free list length = %d, want <= 64", len(e.free))
+	}
+	// A second wave of the same depth must not grow the free list.
+	for i := 0; i < 64; i++ {
+		e.At(e.Now()+Time(i+1), "y", func(*Engine) {})
+	}
+	e.Run()
+	if len(e.free) > 64 {
+		t.Fatalf("free list grew to %d after reuse wave, want <= 64", len(e.free))
+	}
+}

@@ -183,7 +183,7 @@ func (n *NIC) inject(spec *flows.Spec) {
 	// It serializes back-to-back behind the primary and is NOT counted
 	// in sent: the analyzer's loss accounting is per logical frame.
 	if altVID, ok := n.replicate[spec.ID]; ok {
-		r := f.Clone()
+		r := f.CloneHeader() // re-tags the VID, a header field; payload is shared
 		r.VID = altVID
 		n.fifos[ci] = append(n.fifos[ci], r)
 		n.replicas++

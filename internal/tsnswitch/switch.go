@@ -232,11 +232,12 @@ func (sw *Switch) ingress(f *ethernet.Frame) {
 			sw.met.drops[DropNoRoute].Inc()
 			continue
 		}
-		// Multicast replication clones; the common unicast case moves
-		// the frame through untouched.
+		// Multicast replication copies the header only (the payload is
+		// immutable in flight); the common unicast case moves the frame
+		// through untouched.
 		g := f
 		if len(outPorts) > 1 {
-			g = f.Clone()
+			g = f.CloneHeader()
 		}
 		sw.ports[op].enqueue(g, v.QueueID)
 	}
