@@ -16,7 +16,10 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/itp"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/trace"
 	"github.com/tsnbuilder/tsnbuilder/tsnbuilder"
 )
 
@@ -449,5 +452,48 @@ func BenchmarkDeriveAndBuild(b *testing.B) {
 		if _, err := tsnbuilder.BuilderFor(der.Config, nil).Build(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFlightRecord measures the always-on flight recorder's
+// per-event cost — it rides every switch emit, so it must stay
+// allocation-free.
+func BenchmarkFlightRecord(b *testing.B) {
+	fl := trace.NewFlight(1 << 16)
+	ev := trace.Event{At: 1, Kind: trace.KindEnqueue, FlowID: 7, Seq: 3, Switch: 1, Port: 2, Queue: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.Record(ev)
+	}
+}
+
+// BenchmarkAttributionObserve measures the per-delivery latency
+// attribution in steady state (flow aggregate already exists, no miss):
+// a mutex pair, a map hit and six histogram writes, zero allocations.
+func BenchmarkAttributionObserve(b *testing.B) {
+	reg := metrics.New()
+	a := obs.NewAttribution(reg, trace.NewFlight(1<<10))
+	f := &ethernet.Frame{FlowID: 5, Seq: 1, Class: ethernet.ClassTS, SentAt: 1000}
+	f.Span.Begin(1000)
+	f.Span.Claim(300, 100)
+	f.Span.OnDeliver(2000, 100, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ObserveLatency(f, 2000, 1000, false)
+	}
+}
+
+// BenchmarkSpanOps measures the per-hop span bookkeeping a frame pays
+// as it crosses the network.
+func BenchmarkSpanOps(b *testing.B) {
+	var s ethernet.Span
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Begin(100)
+		s.Claim(10, 5)
+		s.OnDeliver(400, 50, 100)
 	}
 }

@@ -19,12 +19,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 		metPath  = flag.String("metrics", "", "write accumulated telemetry (all runs, one registry) to this file ('-' for stdout)")
 		metJSON  = flag.Bool("metrics-json", false, "export -metrics as JSON instead of Prometheus text")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker pool size (1 = serial; output is identical at any setting)")
+		serve    = flag.String("serve", "", "serve accumulated telemetry (/metrics) and /debug/pprof on this address; holds after completion until interrupted")
 	)
 	flag.Parse()
 	p := experiments.DefaultParams()
@@ -44,20 +50,54 @@ func main() {
 	}
 	p.Seed = *seed
 	p.Parallel = *parallel
-	if *metPath != "" {
+	if *metPath != "" || *serve != "" {
 		p.Metrics = metrics.New()
+	}
+	if *serve != "" {
+		if err := serveTelemetry(*serve, p.Metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "tsnbench:", err)
+			os.Exit(1)
+		}
 	}
 	csvOut = *csvDir
 	if err := run(*exp, p); err != nil {
 		fmt.Fprintln(os.Stderr, "tsnbench:", err)
 		os.Exit(1)
 	}
-	if p.Metrics != nil {
+	publishTelemetry()
+	if *metPath != "" {
 		if err := writeMetrics(p.Metrics, *metPath, *metJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "tsnbench:", err)
 			os.Exit(1)
 		}
 	}
+	if *serve != "" {
+		fmt.Println("telemetry: holding final state — interrupt to exit")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// publishTelemetry refreshes the served snapshot; a no-op without
+// -serve. It only runs at quiescent points (between experiment
+// sections), so it never races the sweeps' hot-path registry writes.
+var publishTelemetry = func() {}
+
+// serveTelemetry starts the telemetry server over the accumulated
+// experiment registry — /metrics refreshes after every emitted series,
+// /debug/pprof profiles the runner itself live.
+func serveTelemetry(addr string, reg *metrics.Registry) error {
+	srv := obs.NewServer(nil, nil, nil)
+	srv.Publish(reg.Snapshot())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	fmt.Printf("telemetry: live on http://%s (/metrics /debug/pprof)\n", ln.Addr())
+	publishTelemetry = func() { srv.Publish(reg.Snapshot()) }
+	return nil
 }
 
 // writeMetrics dumps the registry to path ("-" = stdout).
@@ -84,6 +124,7 @@ var csvOut string
 // emitSeries prints a series and optionally writes its CSV.
 func emitSeries(id string, s *experiments.Series) error {
 	fmt.Println(s.String())
+	publishTelemetry()
 	if csvOut == "" {
 		return nil
 	}

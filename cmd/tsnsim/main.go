@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
@@ -28,6 +30,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/faults"
 	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/topology"
@@ -38,20 +41,22 @@ import (
 
 // runOpts bundles one simulation's parameters.
 type runOpts struct {
-	topo     string
-	switches int
-	flows    int
-	hops     int
-	size     int
-	slotUs   int
-	rcMbps   int
-	beMbps   int
-	durMs    int
-	gptp     bool
-	seed     uint64
-	faults   string
-	reconfig string
-	deadline time.Duration
+	topo       string
+	switches   int
+	flows      int
+	hops       int
+	size       int
+	slotUs     int
+	rcMbps     int
+	beMbps     int
+	durMs      int
+	gptp       bool
+	seed       uint64
+	faults     string
+	reconfig   string
+	deadline   time.Duration
+	tsDeadline time.Duration
+	serve      string
 
 	csvPath     string
 	pcapPath    string
@@ -78,6 +83,8 @@ func main() {
 	flag.StringVar(&o.faults, "faults", "", "fault-scenario JSON file to inject during the run")
 	flag.StringVar(&o.reconfig, "reconfig", "", "live-reconfiguration JSON file to apply mid-run")
 	flag.DurationVar(&o.deadline, "deadline", 0, "abort with a diagnostic if the run exceeds this wall-clock time (e.g. 30s)")
+	flag.DurationVar(&o.tsDeadline, "ts-deadline", 0, "override every TS flow's latency deadline (tight values force misses, e.g. 10us)")
+	flag.StringVar(&o.serve, "serve", "", "serve live telemetry on this address (e.g. :9090); holds after the run until interrupted")
 	flag.StringVar(&o.csvPath, "csv", "", "write per-flow statistics to this CSV file")
 	flag.StringVar(&o.pcapPath, "pcap", "", "write delivered frames to this pcap file")
 	flag.BoolVar(&o.hotspots, "hotspots", false, "trace the dataplane and print the worst queue-residence cells")
@@ -141,10 +148,24 @@ func runWithOutputs(o runOpts) error {
 			return err
 		}
 	}
-	if o.csvPath == "" {
-		return nil
+	if o.csvPath != "" {
+		if err := writeCSV(net, o.csvPath); err != nil {
+			return err
+		}
 	}
-	return writeCSV(net, o.csvPath)
+	if o.serve != "" {
+		fmt.Printf("telemetry: holding final state on %s — interrupt to exit\n", o.serve)
+		serveHold()
+	}
+	return nil
+}
+
+// serveHold blocks the -serve run after the simulation finishes so the
+// final telemetry state stays queryable; tests swap it out.
+var serveHold = func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
 }
 
 // writeMetrics dumps the registry to path ("-" = stdout) in Prometheus
@@ -366,6 +387,13 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 		return nil, err
 	}
 	der.Plan.Apply(specs)
+	if o.tsDeadline > 0 {
+		for _, s := range specs {
+			if s.Class == ethernet.ClassTS {
+				s.Deadline = sim.Time(o.tsDeadline)
+			}
+		}
+	}
 	design, err := core.BuilderFor(der.Config, nil).Build()
 	if err != nil {
 		return nil, err
@@ -398,6 +426,14 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 	reportReconfig := func() {}
 	if rspec != nil {
 		reportReconfig = scheduleReconfig(net, rspec)
+	}
+	var srv *obs.Server
+	if o.serve != "" {
+		var addr string
+		if srv, addr, err = net.Serve(o.serve); err != nil {
+			return nil, err
+		}
+		fmt.Printf("telemetry: live on http://%s (/metrics /healthz /flows /events /flightrec /debug/pprof)\n", addr)
 	}
 	if o.progress > 0 || o.deadline > 0 {
 		guardStart := time.Now()
@@ -460,14 +496,45 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 			net.Injector.Injected(), net.Injector.Recovered(),
 			reg.SumCounter(faults.MetricLinkDrops))
 	}
-	printSummary(reg, wall)
+	printSummary(reg, wall, net.Tracer)
+	printAttribution(net)
+	if srv != nil {
+		srv.Publish(reg.Snapshot())
+	}
 	return net, nil
 }
 
+// printAttribution renders the top-3 flows by worst-case latency, one
+// line each with the worst delivery's component decomposition, plus
+// the flight-recorder capture retained for the worst deadline miss.
+func printAttribution(net *testbed.Net) {
+	if net.Attr == nil {
+		return
+	}
+	top := net.Attr.TopByWorst(3)
+	if len(top) == 0 {
+		return
+	}
+	fmt.Println("worst flows (component breakdown of worst delivery):")
+	for _, fl := range top {
+		w := fl.Worst
+		fmt.Printf("  flow %-6d %-3s worst=%9.1fµs seq=%-6d prop=%.1fµs ser=%.1fµs queue=%.1fµs gate=%.1fµs shape=%.1fµs misses=%d\n",
+			fl.FlowID, fl.Class, fl.WorstLat.Micros(), fl.WorstSeq,
+			w.Prop.Micros(), w.Ser.Micros(), w.Queue.Micros(), w.Gate.Micros(), w.Shape.Micros(),
+			fl.Misses)
+	}
+	if dumps := net.Attr.Dumps(); len(dumps) > 0 {
+		d := dumps[len(dumps)-1]
+		fmt.Printf("flight recorder: worst miss flow=%d seq=%d lat=%.1fµs — %d events captured (serve /flightrec for the chain)\n",
+			d.FlowID, d.Seq, d.Lat.Micros(), len(d.Events))
+	}
+}
+
 // printSummary renders the exit summary line from the telemetry
-// registry — delivered frames, drops by reason, and the simulator's
-// event throughput over the measured wall time.
-func printSummary(reg *metrics.Registry, wall time.Duration) {
+// registry — delivered frames, drops by reason, the simulator's event
+// throughput over the measured wall time, and an honest note when the
+// packet trace hit its recording limit.
+func printSummary(reg *metrics.Registry, wall time.Duration, tr *trace.Recorder) {
 	delivered := reg.SumCounter("tsn_flows_delivered_total")
 	drops := reg.SumCounter(tsnswitch.MetricDrops)
 	line := fmt.Sprintf("summary: delivered=%d drops=%d", delivered, drops)
@@ -482,6 +549,9 @@ func printSummary(reg *metrics.Registry, wall time.Duration) {
 	line += fmt.Sprintf(" events=%d", events)
 	if secs := wall.Seconds(); secs > 0 {
 		line += fmt.Sprintf(" (%.0f ev/s)", float64(events)/secs)
+	}
+	if dropped := tr.Truncated(); dropped > 0 {
+		line += fmt.Sprintf(" trace-dropped=%d", dropped)
 	}
 	fmt.Println(line)
 }

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeWithForcedMisses drives a run whose TS deadline is forced to
+// 1µs so every delivery misses, with the telemetry server live: the
+// attribution must record the misses, the worst flow must decompose
+// exactly, and the flight recorder must have captured the worst chain.
+func TestServeWithForcedMisses(t *testing.T) {
+	o := baseOpts()
+	o.tsDeadline = time.Microsecond
+	o.serve = "127.0.0.1:0"
+	net, err := run(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Attr == nil {
+		t.Fatal("run built no attribution")
+	}
+	top := net.Attr.TopByWorst(3)
+	if len(top) == 0 {
+		t.Fatal("no flows ranked")
+	}
+	var misses uint64
+	for _, fl := range top {
+		if got := fl.Worst.Total(); got != fl.WorstLat {
+			t.Fatalf("flow %d: components sum %v != worst %v", fl.FlowID, got, fl.WorstLat)
+		}
+		misses += fl.Misses
+	}
+	if misses == 0 {
+		t.Fatal("1µs deadline forced no misses")
+	}
+	if dumps := net.Attr.Dumps(); len(dumps) == 0 || len(dumps[len(dumps)-1].Events) == 0 {
+		t.Fatal("no flight-recorder dump of the offending chain")
+	}
+}
+
+// TestServeEndpointsDuringHold checks the -serve lifecycle end to end:
+// runWithOutputs serves, holds, and the held server answers /metrics,
+// /healthz and /flows/{id} with live content.
+func TestServeEndpointsDuringHold(t *testing.T) {
+	o := baseOpts()
+	o.tsDeadline = time.Microsecond
+	o.serve = "127.0.0.1:18462"
+
+	probed := make(chan error, 1)
+	oldHold := serveHold
+	defer func() { serveHold = oldHold }()
+	serveHold = func() {
+		probed <- probeServe("http://" + o.serve)
+	}
+	if err := runWithOutputs(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-probed; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// probeServe exercises the held server the way the CI smoke job does.
+func probeServe(base string) error {
+	get := func(path string) (int, string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), err
+	}
+	if code, body, err := get("/metrics"); err != nil || code != 200 ||
+		!strings.Contains(body, "tsn_latency_component_ns") {
+		return fmtErr("/metrics", code, err)
+	}
+	if code, body, err := get("/healthz"); err != nil || code != 200 ||
+		!strings.Contains(body, `"ok"`) {
+		return fmtErr("/healthz", code, err)
+	}
+	code, body, err := get("/flows/1")
+	if err != nil || code != 200 {
+		return fmtErr("/flows/1", code, err)
+	}
+	var fj struct {
+		Count   uint64 `json:"count"`
+		WorstNs int64  `json:"worst_ns"`
+	}
+	if err := json.Unmarshal([]byte(body), &fj); err != nil {
+		return err
+	}
+	if fj.Count == 0 || fj.WorstNs == 0 {
+		return fmtErr("/flows/1 empty breakdown", code, nil)
+	}
+	return nil
+}
+
+func fmtErr(what string, code int, err error) error {
+	if err != nil {
+		return err
+	}
+	return &probeError{what: what, code: code}
+}
+
+type probeError struct {
+	what string
+	code int
+}
+
+func (e *probeError) Error() string {
+	return e.what + " failed with status " + http.StatusText(e.code)
+}

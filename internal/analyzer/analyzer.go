@@ -111,11 +111,22 @@ func (c *classSamples) quantile(q float64) sim.Time {
 	return sorted[idx]
 }
 
+// LatencySink receives every delivery the collector records, with the
+// computed latency and deadline verdict — the hook the observability
+// layer uses to decompose latency from the frame's span without the
+// analyzer importing it.
+type LatencySink interface {
+	ObserveLatency(f *ethernet.Frame, arrival, lat sim.Time, missed bool)
+}
+
 // Collector receives frames and maintains statistics. It implements
 // the receive half of a TSNNic endpoint.
 type Collector struct {
 	perFlow  map[uint32]*FlowStats
 	perClass map[ethernet.Class]*classSamples
+
+	// sink, when set, observes every recorded delivery.
+	sink LatencySink
 
 	// Telemetry handles, indexed by traffic class (BE/RC/TS); zero
 	// values are no-ops.
@@ -147,6 +158,9 @@ func (c *Collector) Instrument(reg *metrics.Registry) {
 		c.metLatency[cls] = reg.Histogram("tsn_e2e_latency_ns", LatencyBounds, l)
 	}
 }
+
+// SetLatencySink installs the per-delivery observation hook.
+func (c *Collector) SetLatencySink(s LatencySink) { c.sink = s }
 
 // SetDeadline registers flowID's deadline for miss accounting.
 func (c *Collector) SetDeadline(flowID uint32, d sim.Time) {
@@ -191,8 +205,12 @@ func (c *Collector) Record(f *ethernet.Frame, arrival sim.Time) {
 	if lat > st.MaxLat {
 		st.MaxLat = lat
 	}
-	if st.deadline > 0 && lat > st.deadline {
+	missed := st.deadline > 0 && lat > st.deadline
+	if missed {
 		st.DeadlineMisses++
+	}
+	if c.sink != nil {
+		c.sink.ObserveLatency(f, arrival, lat, missed)
 	}
 	if !st.seenSeq {
 		st.seenSeq = true

@@ -75,6 +75,12 @@ type Frame struct {
 	// hardware (the tester correlates by FlowID/Seq); carried here for
 	// convenience.
 	SentAt sim.Time
+
+	// Span is the per-hop latency attribution context, advanced by
+	// netdev at every delivery and by switches at every egress pop. It
+	// travels with CloneHeader copies like the other tester metadata
+	// and is never marshaled to the wire.
+	Span Span
 }
 
 // WireBytes returns the frame's on-wire size excluding preamble/IFG:

@@ -1,0 +1,91 @@
+package ethernet
+
+import "github.com/tsnbuilder/tsnbuilder/internal/sim"
+
+// Span is the per-frame latency attribution context a frame carries
+// across the network: it decomposes the end-to-end latency the analyzer
+// measures into where the time actually went. It is a plain value
+// embedded in Frame, so CloneHeader propagates it for free and the hot
+// path never allocates.
+//
+// Accounting contract (all integers, so the books balance exactly):
+//
+//   - Begin is called by the injecting NIC at the instant the first bit
+//     hits the wire — the same instant SentAt is stamped, so the span
+//     window equals the analyzer's latency window.
+//   - OnDeliver is called by netdev at every delivery instant. It adds
+//     the link's propagation delay and the delivered (final) fragment's
+//     serialization time, and books everything else since the previous
+//     boundary — minus whatever the switch already claimed — as queue
+//     wait. The boundary then advances to the delivery instant.
+//   - Claim is called by a switch when it pops the frame for
+//     transmission, moving part of the pending hop wait from the queue
+//     bucket into the gate and shaping buckets. Claimed amounts must
+//     not exceed the actual wait (the switch clamps), so the queue
+//     residual at OnDeliver is never negative.
+//
+// At the final delivery, Prop+Ser+Queue+Gate+Shape equals the
+// analyzer's end-to-end latency exactly: every bucket is a difference
+// of engine timestamps and each instant is booked exactly once.
+type Span struct {
+	// Prop is cable propagation time summed over every traversed link.
+	Prop sim.Time
+	// Ser is store-and-forward serialization time: the wire time of the
+	// delivered fragment at each hop (preempted first fragments land in
+	// Queue, as residence at the preempting switch).
+	Ser sim.Time
+	// Queue is time spent admitted but not transmitting for any reason
+	// not claimed below: head-of-line blocking, a busy wire, preemption
+	// gaps.
+	Queue sim.Time
+	// Gate is time waiting for the egress gate schedule (closed gate or
+	// length-aware guard band), computed analytically from the GCL.
+	Gate sim.Time
+	// Shape is time the credit-based shaper held an otherwise eligible
+	// queue back.
+	Shape sim.Time
+
+	// mark is the engine instant of the last accounting boundary; claimed
+	// is wait already attributed to Gate/Shape and pending subtraction
+	// from the next hop's queue residual.
+	mark    sim.Time
+	claimed sim.Time
+	active  bool
+}
+
+// Begin resets the span and anchors its first boundary at now — the
+// injection wire stamp.
+func (s *Span) Begin(now sim.Time) { *s = Span{mark: now, active: true} }
+
+// Active reports whether Begin has anchored the span (delivery without
+// Begin — e.g. a hand-built test frame — books nothing).
+func (s *Span) Active() bool { return s.active }
+
+// Claim moves gate- and shaper-attributed wait out of the pending hop's
+// queue residual. The caller guarantees gate+shape does not exceed the
+// frame's actual wait at this hop.
+func (s *Span) Claim(gate, shape sim.Time) {
+	s.Gate += gate
+	s.Shape += shape
+	s.claimed += gate + shape
+}
+
+// OnDeliver closes one hop at delivery instant now: prop is the link's
+// propagation delay, ser the serialization time of the delivered
+// fragment. The remainder since the last boundary, minus claimed
+// gate/shape time, books as queue wait.
+func (s *Span) OnDeliver(now, prop, ser sim.Time) {
+	if !s.Active() {
+		return
+	}
+	s.Prop += prop
+	s.Ser += ser
+	if q := now - s.mark - prop - ser - s.claimed; q > 0 {
+		s.Queue += q
+	}
+	s.claimed = 0
+	s.mark = now
+}
+
+// Total returns the attributed latency booked so far.
+func (s *Span) Total() sim.Time { return s.Prop + s.Ser + s.Queue + s.Gate + s.Shape }

@@ -1,0 +1,112 @@
+package ethernet
+
+import (
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+func TestSpanBooksExactly(t *testing.T) {
+	var s Span
+	if s.Active() {
+		t.Fatal("zero span reports active")
+	}
+	s.Begin(1000)
+	if !s.Active() {
+		t.Fatal("span inactive after Begin")
+	}
+
+	// Hop 1: 100 prop, 200 ser, arrives at 1000+100+200+50 — the 50
+	// unexplained ns book as queue.
+	s.OnDeliver(1350, 100, 200)
+	if s.Prop != 100 || s.Ser != 200 || s.Queue != 50 {
+		t.Fatalf("hop 1 books wrong: %+v", s)
+	}
+
+	// Hop 2: the switch claims 300 gate + 100 shape out of a 500 ns
+	// residence; the remaining 100 is queue.
+	s.Claim(300, 100)
+	s.OnDeliver(1350+100+200+500, 100, 200)
+	if s.Gate != 300 || s.Shape != 100 {
+		t.Fatalf("claims not booked: %+v", s)
+	}
+	if s.Queue != 50+100 {
+		t.Fatalf("queue residual = %v, want 150", s.Queue)
+	}
+	if got, want := s.Total(), sim.Time(2150-1000); got != want {
+		t.Fatalf("total %v != elapsed %v — books out of balance", got, want)
+	}
+}
+
+func TestSpanZeroTimeInjection(t *testing.T) {
+	var s Span
+	s.Begin(0) // first bit on the wire at engine time zero
+	if !s.Active() {
+		t.Fatal("time-0 Begin not recognized as active")
+	}
+	s.OnDeliver(300, 100, 200)
+	if s.Total() != 300 || s.Queue != 0 {
+		t.Fatalf("time-0 span books wrong: %+v", s)
+	}
+}
+
+func TestSpanNeverBooksNegativeQueue(t *testing.T) {
+	var s Span
+	s.Begin(1000)
+	// Claim exactly the whole residence: queue residual must be zero,
+	// not negative.
+	s.Claim(500, 0)
+	s.OnDeliver(1000+100+200+500, 100, 200)
+	if s.Queue != 0 {
+		t.Fatalf("queue = %v, want 0", s.Queue)
+	}
+	if s.Total() != 800 {
+		t.Fatalf("total = %v, want 800", s.Total())
+	}
+}
+
+func TestSpanInactiveDeliverIsNoop(t *testing.T) {
+	var s Span
+	s.OnDeliver(500, 100, 200)
+	if s.Total() != 0 {
+		t.Fatalf("inactive span booked %v", s.Total())
+	}
+}
+
+func TestSpanBeginResets(t *testing.T) {
+	var s Span
+	s.Begin(0)
+	s.Claim(10, 10)
+	s.OnDeliver(100, 10, 10)
+	s.Begin(200)
+	if s.Total() != 0 || s.Queue != 0 {
+		t.Fatalf("Begin did not reset: %+v", s)
+	}
+}
+
+// TestSpanTravelsWithCloneHeader: the span is a value field, so header
+// clones (multicast, FRER replication) each carry independent books.
+func TestSpanTravelsWithCloneHeader(t *testing.T) {
+	f := &Frame{FlowID: 1, Payload: []byte{1, 2, 3}}
+	f.Span.Begin(100)
+	f.Span.Claim(30, 0)
+	g := f.CloneHeader()
+	g.Span.OnDeliver(500, 100, 200)
+	if f.Span.Total() != 30 {
+		t.Fatalf("clone delivery mutated the original: %+v", f.Span)
+	}
+	if g.Span.Gate != 30 || g.Span.Queue != 500-100-100-200-30 {
+		t.Fatalf("clone books wrong: %+v", g.Span)
+	}
+}
+
+func TestSpanOpsAllocFree(t *testing.T) {
+	var s Span
+	if allocs := testing.AllocsPerRun(1000, func() {
+		s.Begin(100)
+		s.Claim(10, 5)
+		s.OnDeliver(400, 50, 100)
+	}); allocs != 0 {
+		t.Fatalf("span ops allocate %.1f/op, want 0", allocs)
+	}
+}

@@ -325,6 +325,11 @@ type Injector struct {
 
 	injectedN  uint64
 	recoveredN uint64
+
+	// OnInject, when set, runs on the simulation thread at every fault
+	// activation — the observability layer dumps the flight recorder
+	// from it. Set before the scenario starts firing.
+	OnInject func(kind string)
 }
 
 // NewInjector creates an injector. seed drives the probabilistic
@@ -360,6 +365,9 @@ func (inj *Injector) Recovered() uint64 { return inj.recoveredN }
 func (inj *Injector) markInjected(kind string) {
 	inj.injectedN++
 	inj.injected[kind].Inc()
+	if inj.OnInject != nil {
+		inj.OnInject(kind)
+	}
 }
 
 func (inj *Injector) markRecovered(kind string) {

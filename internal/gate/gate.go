@@ -104,6 +104,12 @@ func (g *GCL) StateAt(t sim.Time) Mask {
 	return g.entries[g.index(t)]
 }
 
+// PeekState is StateAt without the rollover observation: safe for
+// probing arbitrary (including future) instants, e.g. latency
+// attribution replaying a frame's gate wait, without perturbing the
+// rollover counter.
+func (g *GCL) PeekState(t sim.Time) Mask { return g.entries[g.index(t)] }
+
 // SlotIndex returns the absolute slot number containing local time t.
 func (g *GCL) SlotIndex(t sim.Time) int64 {
 	rel := t - g.base

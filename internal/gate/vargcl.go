@@ -12,6 +12,10 @@ import (
 type Schedule interface {
 	// StateAt returns the gate mask in effect at local time t.
 	StateAt(t sim.Time) Mask
+	// PeekState returns the same mask as StateAt but is side-effect
+	// free: it never advances a bound rollover counter, so callers may
+	// probe arbitrary instants (analytic gate-wait attribution does).
+	PeekState(t sim.Time) Mask
 	// NextBoundary returns the earliest state-change instant strictly
 	// after t.
 	NextBoundary(t sim.Time) sim.Time
@@ -124,6 +128,11 @@ func (g *VarGCL) StateAt(t sim.Time) Mask {
 		g.lastEpoch = epoch
 	}
 	return g.entries[i].Mask
+}
+
+// PeekState implements Schedule: StateAt without rollover accounting.
+func (g *VarGCL) PeekState(t sim.Time) Mask {
+	return g.entries[g.index(g.phase(t))].Mask
 }
 
 // NextBoundary implements Schedule.

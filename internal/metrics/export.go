@@ -30,6 +30,9 @@ type SampleSnapshot struct {
 	Counts []uint64 `json:"counts,omitempty"`
 	Sum    float64  `json:"sum,omitempty"`
 	Count  uint64   `json:"count,omitempty"`
+	// Exemplar is the histogram's worst retained observation (JSON
+	// export only; the Prometheus text format has no exemplar syntax).
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Quantile estimates the q-quantile of a histogram sample (0 for
@@ -65,6 +68,10 @@ func (r *Registry) Snapshot() Snapshot {
 				ss.Counts = append([]uint64(nil), s.h.counts...)
 				ss.Sum = s.h.sum
 				ss.Count = s.h.count
+				if s.h.exSet {
+					ex := s.h.ex
+					ss.Exemplar = &ex
+				}
 			}
 			fs.Samples = append(fs.Samples, ss)
 		}

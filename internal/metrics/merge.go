@@ -53,7 +53,7 @@ func (r *Registry) Merge(src *Registry) {
 				c.g = *s.g
 			case KindHistogram:
 				h := &histData{bounds: s.h.bounds, counts: append([]uint64(nil), s.h.counts...),
-					sum: s.h.sum, count: s.h.count}
+					sum: s.h.sum, count: s.h.count, ex: s.h.ex, exSet: s.h.exSet}
 				c.h = h
 			}
 			cells = append(cells, c)
@@ -64,6 +64,32 @@ func (r *Registry) Merge(src *Registry) {
 		}
 	}
 	src.mu.Unlock()
+
+	// ...validate every cell against r's existing families BEFORE any
+	// mutation, so a kind or bucket-layout mismatch panics with r intact
+	// instead of half-merged...
+	r.mu.Lock()
+	var mismatch string
+	for _, c := range cells {
+		f, ok := r.byName[c.name]
+		if !ok || f.kind == "" || c.kind == "" {
+			continue
+		}
+		if f.kind != c.kind {
+			mismatch = fmt.Sprintf("metrics: Merge of %s registered as %s, merged as %s",
+				c.name, f.kind, c.kind)
+			break
+		}
+		if c.kind == KindHistogram && !equalBounds(f.bounds, c.bounds) {
+			mismatch = fmt.Sprintf("metrics: Merge of %s with mismatched bucket layouts (%v vs %v)",
+				c.name, f.bounds, c.bounds)
+			break
+		}
+	}
+	r.mu.Unlock()
+	if mismatch != "" {
+		panic(mismatch)
+	}
 
 	// ...then apply under r's lock via the normal registration path, so
 	// family/sample ordering matches a serial run registering the same
@@ -83,15 +109,31 @@ func (r *Registry) Merge(src *Registry) {
 			}
 		case KindHistogram:
 			s := r.lookup(c.name, KindHistogram, c.bounds, c.labels)
-			if len(s.h.counts) != len(c.h.counts) {
-				panic(fmt.Sprintf("metrics: Merge of %s with mismatched bucket layouts (%d vs %d buckets)",
-					c.name, len(s.h.counts), len(c.h.counts)))
-			}
 			for i, n := range c.h.counts {
 				s.h.counts[i] += n
 			}
 			s.h.sum += c.h.sum
 			s.h.count += c.h.count
+			// Exemplars fold like ObserveExemplar retains them:
+			// strictly-greater value wins, a tie keeps the destination's
+			// (earlier-in-sweep-order) exemplar.
+			if c.h.exSet && (!s.h.exSet || c.h.ex.Value > s.h.ex.Value) {
+				s.h.ex = c.h.ex
+				s.h.exSet = true
+			}
 		}
 	}
+}
+
+// equalBounds reports whether two bucket layouts are identical.
+func equalBounds(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -94,3 +94,190 @@ func TestMergeNilSafe(t *testing.T) {
 	r.Merge(New()) // no-op
 	New().Merge(nil)
 }
+
+func TestMergeEmptyRegistries(t *testing.T) {
+	// Empty into populated: nothing changes.
+	a := New()
+	a.Counter("hits").Add(3)
+	before := snapText(t, a)
+	a.Merge(New())
+	if after := snapText(t, a); after != before {
+		t.Errorf("merging empty registry changed export:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+	// Populated into empty: full copy, export identical to the source.
+	b := New()
+	b.Help("lat", "latency")
+	b.Histogram("lat", []int64{10, 100}).Observe(50)
+	b.Gauge("hw").SetMax(7)
+	dst := New()
+	dst.Merge(b)
+	if got, want := snapText(t, dst), snapText(t, b); got != want {
+		t.Errorf("merge into empty differs from source:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Empty into empty stays empty.
+	e := New()
+	e.Merge(New())
+	if n := len(e.Snapshot().Families); n != 0 {
+		t.Errorf("empty-into-empty produced %d families", n)
+	}
+}
+
+func TestMergeGaugeMaxTie(t *testing.T) {
+	a, b := New(), New()
+	a.Gauge("hw").Set(10)
+	b.Gauge("hw").Set(10)
+	a.Merge(b)
+	if got := a.GaugeValue("hw"); got != 10 {
+		t.Errorf("tied gauge merge = %d, want 10", got)
+	}
+	// Ties must also hold for negative and zero values.
+	a2, b2 := New(), New()
+	a2.Gauge("z").Set(0)
+	b2.Gauge("z").Set(0)
+	a2.Merge(b2)
+	if got := a2.GaugeValue("z"); got != 0 {
+		t.Errorf("zero-tie gauge merge = %d, want 0", got)
+	}
+}
+
+func TestMergeBucketMismatchPanicsWithoutCorrupting(t *testing.T) {
+	a, b := New(), New()
+	// A counter family that would merge fine, registered BEFORE the
+	// mismatched histogram so a non-validating merge would have already
+	// mutated it by the time the panic fires.
+	a.Counter("hits").Add(1)
+	b.Counter("hits").Add(10)
+	a.Histogram("lat", []int64{10, 100}).Observe(5)
+	b.Histogram("lat", []int64{10, 100, 1000}).Observe(5)
+	before := snapText(t, a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bucket-layout mismatch did not panic")
+			}
+		}()
+		a.Merge(b)
+	}()
+	if after := snapText(t, a); after != before {
+		t.Errorf("failed merge corrupted destination:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+}
+
+func TestMergeBoundValueMismatchPanics(t *testing.T) {
+	// Same bucket COUNT, different boundary values: counts would add
+	// bucket-wise without complaint, silently mixing incomparable
+	// layouts. Must panic too.
+	a, b := New(), New()
+	a.Histogram("lat", []int64{10, 100}).Observe(5)
+	b.Histogram("lat", []int64{20, 200}).Observe(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bound-value mismatch did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestMergeKindMismatchPanicsWithoutCorrupting(t *testing.T) {
+	a, b := New(), New()
+	a.Counter("early").Add(1)
+	b.Counter("early").Add(1)
+	a.Counter("x")
+	b.Gauge("x")
+	before := snapText(t, a)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("kind mismatch did not panic")
+			}
+		}()
+		a.Merge(b)
+	}()
+	if after := snapText(t, a); after != before {
+		t.Errorf("failed merge corrupted destination:\n--- before ---\n%s--- after ---\n%s", before, after)
+	}
+}
+
+func TestMergeExemplars(t *testing.T) {
+	bounds := []int64{10, 100}
+	// Greater source exemplar replaces the destination's.
+	a, b := New(), New()
+	a.Histogram("lat", bounds).ObserveExemplar(50, "flow=1", 100)
+	b.Histogram("lat", bounds).ObserveExemplar(70, "flow=2", 200)
+	a.Merge(b)
+	ex, ok := a.Histogram("lat", bounds).Exemplar()
+	if !ok || ex.Value != 70 || ex.Label != "flow=2" {
+		t.Errorf("merged exemplar = %+v ok=%v, want value 70 from flow=2", ex, ok)
+	}
+	// A tie keeps the destination's (earlier in sweep order), matching
+	// ObserveExemplar's strictly-greater-wins retention.
+	c, d := New(), New()
+	c.Histogram("lat", bounds).ObserveExemplar(70, "flow=1", 100)
+	d.Histogram("lat", bounds).ObserveExemplar(70, "flow=2", 200)
+	c.Merge(d)
+	ex, ok = c.Histogram("lat", bounds).Exemplar()
+	if !ok || ex.Label != "flow=1" {
+		t.Errorf("tied exemplar = %+v ok=%v, want destination's flow=1", ex, ok)
+	}
+	// New cell: the exemplar travels into a registry that never saw the
+	// family.
+	e := New()
+	e.Merge(a)
+	ex, ok = e.Histogram("lat", bounds).Exemplar()
+	if !ok || ex.Value != 70 {
+		t.Errorf("exemplar lost merging into empty registry: %+v ok=%v", ex, ok)
+	}
+	// Source without an exemplar leaves the destination's in place.
+	f, g := New(), New()
+	f.Histogram("lat", bounds).ObserveExemplar(50, "flow=1", 100)
+	g.Histogram("lat", bounds).Observe(500)
+	f.Merge(g)
+	ex, ok = f.Histogram("lat", bounds).Exemplar()
+	if !ok || ex.Label != "flow=1" {
+		t.Errorf("exemplar-free source clobbered destination exemplar: %+v ok=%v", ex, ok)
+	}
+}
+
+func TestMergeExemplarSerialParallelParity(t *testing.T) {
+	bounds := []int64{10, 100}
+	obs := [][3]int64{{30, 1, 10}, {90, 2, 20}, {90, 3, 30}, {60, 4, 40}}
+	serial := New()
+	hs := serial.Histogram("lat", bounds)
+	for _, o := range obs {
+		hs.ObserveExemplar(o[0], labelFor(o[1]), o[2])
+	}
+	// Two workers split the observations; merge in sweep order.
+	w1, w2 := New(), New()
+	for i, o := range obs {
+		w := w1
+		if i >= 2 {
+			w = w2
+		}
+		w.Histogram("lat", bounds).ObserveExemplar(o[0], labelFor(o[1]), o[2])
+	}
+	merged := New()
+	merged.Merge(w1)
+	merged.Merge(w2)
+	var s, p bytes.Buffer
+	if err := serial.Snapshot().WriteJSON(&s); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Snapshot().WriteJSON(&p); err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != p.String() {
+		t.Errorf("exemplar exports differ:\n--- serial ---\n%s--- merged ---\n%s", s.String(), p.String())
+	}
+}
+
+func labelFor(flow int64) string { return "flow=" + string(rune('0'+flow)) }
+
+// snapText renders a registry's Prometheus export for equality checks.
+func snapText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

@@ -113,12 +113,25 @@ func (g Gauge) Value() int64 {
 	return *g.v
 }
 
+// Exemplar is the worst exemplar-bearing observation of a histogram
+// sample: the value plus an opaque label locating the event (e.g.
+// "flow=17 seq=412") and the instant it happened. The JSON snapshot
+// exports it; the Prometheus 0.0.4 text format has no exemplar syntax
+// and stays unchanged.
+type Exemplar struct {
+	Value int64  `json:"value"`
+	Label string `json:"label"`
+	At    int64  `json:"at"`
+}
+
 // histData is the backing store of one histogram sample.
 type histData struct {
 	bounds []int64  // sorted upper bounds; an implicit +Inf bucket follows
 	counts []uint64 // len(bounds)+1
 	sum    float64
 	count  uint64
+	ex     Exemplar
+	exSet  bool
 }
 
 // Histogram is a fixed-bucket distribution handle. The zero value is
@@ -140,6 +153,31 @@ func (h Histogram) Observe(v int64) {
 	d.counts[i]++
 	d.sum += float64(v)
 	d.count++
+}
+
+// ObserveExemplar is Observe plus exemplar retention: when v is the
+// largest exemplar-bearing observation the sample has seen, (label, at)
+// is kept as its exemplar. Strictly-greater-wins, so among equal worst
+// values the first observed survives — which keeps serial and
+// sweep-order-merged parallel runs byte-identical.
+func (h Histogram) ObserveExemplar(v int64, label string, at int64) {
+	h.Observe(v)
+	d := h.h
+	if d == nil {
+		return
+	}
+	if !d.exSet || v > d.ex.Value {
+		d.ex = Exemplar{Value: v, Label: label, At: at}
+		d.exSet = true
+	}
+}
+
+// Exemplar returns the sample's retained exemplar, if any.
+func (h Histogram) Exemplar() (Exemplar, bool) {
+	if h.h == nil || !h.h.exSet {
+		return Exemplar{}, false
+	}
+	return h.h.ex, true
 }
 
 // Active reports whether the handle is bound to a registry cell.

@@ -232,6 +232,10 @@ func (i *Ifc) transmitBytes(f *ethernet.Frame, wireBytes int, onDone func()) *Tx
 			return
 		}
 		peer.rxFrames++
+		// Close the latency-attribution hop: propagation plus this
+		// (final) fragment's serialization; the remainder since the last
+		// boundary books as residence at the transmitting node.
+		deliver.Span.OnDeliver(e.Now(), i.prop, wire)
 		peer.owner.Receive(deliver, peer)
 		if peer.sniff != nil {
 			peer.sniff(deliver, e.Now())

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/trace"
+)
+
+// Health is the mutex-guarded health board the /healthz endpoint
+// serves. The simulation thread updates it (watchdog audits, fault
+// injections); server goroutines read it.
+type Health struct {
+	mu         sync.Mutex
+	degraded   bool
+	detail     string
+	audits     uint64
+	violations uint64
+}
+
+// SetDegraded flips the degraded flag with a human-readable detail.
+func (h *Health) SetDegraded(degraded bool, detail string) {
+	h.mu.Lock()
+	h.degraded, h.detail = degraded, detail
+	h.mu.Unlock()
+}
+
+// SetAudit records the watchdog's audit/violation totals.
+func (h *Health) SetAudit(audits, violations uint64) {
+	h.mu.Lock()
+	h.audits, h.violations = audits, violations
+	h.mu.Unlock()
+}
+
+// Status returns the current board state.
+func (h *Health) Status() (degraded bool, detail string, audits, violations uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded, h.detail, h.audits, h.violations
+}
+
+// Server is the live telemetry HTTP handler: Prometheus /metrics (from
+// the last published snapshot — the hot path's unsynchronized cells are
+// never read live), /metrics.json, /healthz, /flows and /flows/{id}
+// latency breakdowns, an NDJSON /events stream off the flight recorder,
+// /flightrec miss dumps, and /debug/pprof. Construct with NewServer,
+// publish snapshots from the simulation thread with Publish, and serve
+// via Handler.
+type Server struct {
+	mux    *http.ServeMux
+	snap   atomic.Value // metrics.Snapshot
+	attr   *Attribution
+	flight *trace.Flight
+	health *Health
+}
+
+// NewServer wires the endpoint set. Any of attr, flight, health may be
+// nil; the corresponding endpoints degrade gracefully (404/empty).
+func NewServer(attr *Attribution, flight *trace.Flight, health *Health) *Server {
+	s := &Server{mux: http.NewServeMux(), attr: attr, flight: flight, health: health}
+	s.snap.Store(metrics.Snapshot{})
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/flows", s.handleFlows)
+	s.mux.HandleFunc("/flows/", s.handleFlow)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/flightrec", s.handleFlightrec)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Publish stores a registry snapshot for /metrics to serve. Call it
+// from the simulation thread (periodically, and once after the run);
+// the handler only ever reads published copies, so the registry's
+// unsynchronized hot-path cells are never raced.
+func (s *Server) Publish(snap metrics.Snapshot) { s.snap.Store(snap) }
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snap.Load().(metrics.Snapshot)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WritePrometheus(w)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	snap := s.snap.Load().(metrics.Snapshot)
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteJSON(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.health == nil {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"ok"}`)
+		return
+	}
+	degraded, detail, audits, violations := s.health.Status()
+	status := "ok"
+	code := http.StatusOK
+	if degraded {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": status, "detail": detail,
+		"audits": audits, "violations": violations,
+	})
+}
+
+// flowJSON is the wire form of one flow's latency breakdown.
+type flowJSON struct {
+	Flow    uint32     `json:"flow"`
+	Class   string     `json:"class"`
+	Count   uint64     `json:"count"`
+	Misses  uint64     `json:"deadline_misses"`
+	MeanNs  sim.Time   `json:"mean_ns"`
+	Sum     Components `json:"sum"`
+	Worst   Components `json:"worst"`
+	WorstNs sim.Time   `json:"worst_ns"`
+	WSeq    uint32     `json:"worst_seq"`
+	WAt     sim.Time   `json:"worst_at_ns"`
+}
+
+func toFlowJSON(fl FlowLatency) flowJSON {
+	var mean sim.Time
+	if fl.Count > 0 {
+		mean = fl.Sum.Total() / sim.Time(fl.Count)
+	}
+	return flowJSON{
+		Flow: fl.FlowID, Class: fl.Class.String(), Count: fl.Count,
+		Misses: fl.Misses, MeanNs: mean, Sum: fl.Sum,
+		Worst: fl.Worst, WorstNs: fl.WorstLat, WSeq: fl.WorstSeq, WAt: fl.WorstAt,
+	}
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := []flowJSON{}
+	if s.attr != nil {
+		for _, fl := range s.attr.Flows() {
+			out = append(out, toFlowJSON(fl))
+		}
+	}
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/flows/")
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		http.Error(w, "bad flow id", http.StatusBadRequest)
+		return
+	}
+	if s.attr == nil {
+		http.Error(w, "attribution disabled", http.StatusNotFound)
+		return
+	}
+	fl, ok := s.attr.Flow(uint32(id))
+	if !ok {
+		http.Error(w, "unknown flow", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(toFlowJSON(fl))
+}
+
+func (s *Server) handleFlightrec(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	miss, events := []MissDump{}, []EventDump{}
+	if s.attr != nil {
+		miss, events = s.attr.Dumps(), s.attr.EventDumps()
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"deadline_miss": miss,
+		"triggered":     events,
+	})
+}
+
+// eventJSON is the wire form of one flight-recorder event.
+type eventJSON struct {
+	At     sim.Time `json:"at_ns"`
+	Kind   string   `json:"kind"`
+	Switch int      `json:"switch"`
+	Port   int      `json:"port"`
+	Queue  int      `json:"queue"`
+	Flow   uint32   `json:"flow"`
+	Seq    uint32   `json:"seq"`
+	Detail string   `json:"detail,omitempty"`
+}
+
+// eventsPollInterval paces the NDJSON stream's ring polls.
+const eventsPollInterval = 100 * time.Millisecond
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var cursor uint64
+	buf := make([]trace.Event, 0, 256)
+	ticker := time.NewTicker(eventsPollInterval)
+	defer ticker.Stop()
+	for {
+		buf, cursor = s.flight.Since(cursor, buf[:0])
+		for _, ev := range buf {
+			if err := enc.Encode(eventJSON{
+				At: ev.At, Kind: ev.Kind.String(),
+				Switch: ev.Switch, Port: ev.Port, Queue: ev.Queue,
+				Flow: ev.FlowID, Seq: ev.Seq, Detail: ev.Detail,
+			}); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

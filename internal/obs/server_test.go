@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/trace"
+)
+
+// testServer wires a server over one observed miss and a health board.
+func testServer(t *testing.T) (*Server, *Health, *metrics.Registry) {
+	t.Helper()
+	fl := trace.NewFlight(64)
+	fl.Record(trace.Event{At: 10, Kind: trace.KindEnqueue, FlowID: 7, Seq: 1})
+	reg := metrics.New()
+	attr := NewAttribution(reg, fl)
+	attr.ObserveLatency(spanFrame(7, 1, ethernet.ClassTS, 5000), 6000, 5000, true)
+	health := &Health{}
+	srv := NewServer(attr, fl, health)
+	srv.Publish(reg.Snapshot())
+	return srv, health, reg
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Body.String()
+}
+
+func TestServerMetricsEndpoints(t *testing.T) {
+	srv, _, _ := testServer(t)
+	code, body := get(t, srv.Handler(), "/metrics")
+	if code != 200 || !strings.Contains(body, MetricComponent) {
+		t.Fatalf("/metrics = %d, component family present=%v", code,
+			strings.Contains(body, MetricComponent))
+	}
+	code, body = get(t, srv.Handler(), "/metrics.json")
+	if code != 200 || !strings.Contains(body, "\"families\"") {
+		t.Fatalf("/metrics.json = %d body %q", code, body[:min(len(body), 80)])
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	srv, health, _ := testServer(t)
+	code, body := get(t, srv.Handler(), "/healthz")
+	if code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthy /healthz = %d %q", code, body)
+	}
+	health.SetDegraded(true, "pool pressure 0.93 on switch 2")
+	health.SetAudit(41, 3)
+	code, body = get(t, srv.Handler(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d, want 503", code)
+	}
+	if !strings.Contains(body, "pool pressure") || !strings.Contains(body, `"audits":41`) {
+		t.Fatalf("degraded body missing detail: %q", body)
+	}
+	health.SetDegraded(false, "")
+	if code, _ = get(t, srv.Handler(), "/healthz"); code != 200 {
+		t.Fatalf("recovered /healthz = %d, want 200", code)
+	}
+}
+
+func TestServerFlowBreakdown(t *testing.T) {
+	srv, _, _ := testServer(t)
+	code, body := get(t, srv.Handler(), "/flows/7")
+	if code != 200 {
+		t.Fatalf("/flows/7 = %d", code)
+	}
+	var fj struct {
+		Flow   uint32 `json:"flow"`
+		Class  string `json:"class"`
+		Misses uint64 `json:"deadline_misses"`
+		Worst  struct {
+			Prop  sim.Time `json:"prop_ns"`
+			Ser   sim.Time `json:"ser_ns"`
+			Queue sim.Time `json:"queue_ns"`
+			Gate  sim.Time `json:"gate_ns"`
+			Shape sim.Time `json:"shape_ns"`
+		} `json:"worst"`
+		WorstNs sim.Time `json:"worst_ns"`
+	}
+	if err := json.Unmarshal([]byte(body), &fj); err != nil {
+		t.Fatal(err)
+	}
+	if fj.Flow != 7 || fj.Class != "TS" || fj.Misses != 1 {
+		t.Fatalf("breakdown header wrong: %+v", fj)
+	}
+	sum := fj.Worst.Prop + fj.Worst.Ser + fj.Worst.Queue + fj.Worst.Gate + fj.Worst.Shape
+	if sum != fj.WorstNs || fj.WorstNs != 5000 {
+		t.Fatalf("components sum to %v, worst_ns %v — must match exactly", sum, fj.WorstNs)
+	}
+
+	if code, _ := get(t, srv.Handler(), "/flows/999"); code != 404 {
+		t.Fatalf("unknown flow = %d, want 404", code)
+	}
+	if code, _ := get(t, srv.Handler(), "/flows/bogus"); code != 400 {
+		t.Fatalf("bad id = %d, want 400", code)
+	}
+	code, body = get(t, srv.Handler(), "/flows")
+	if code != 200 || !strings.Contains(body, `"flow":7`) {
+		t.Fatalf("/flows = %d %q", code, body)
+	}
+}
+
+func TestServerFlightrec(t *testing.T) {
+	srv, _, _ := testServer(t)
+	code, body := get(t, srv.Handler(), "/flightrec")
+	if code != 200 {
+		t.Fatalf("/flightrec = %d", code)
+	}
+	var out struct {
+		Miss      []MissDump  `json:"deadline_miss"`
+		Triggered []EventDump `json:"triggered"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Miss) != 1 || out.Miss[0].FlowID != 7 || len(out.Miss[0].Events) != 1 {
+		t.Fatalf("flightrec dump wrong: %+v", out)
+	}
+}
+
+func TestServerNilComponentsDegradeGracefully(t *testing.T) {
+	srv := NewServer(nil, nil, nil)
+	if code, _ := get(t, srv.Handler(), "/healthz"); code != 200 {
+		t.Fatal("nil health should report ok")
+	}
+	if code, body := get(t, srv.Handler(), "/flows"); code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil attr /flows = %d %q", code, body)
+	}
+	if code, _ := get(t, srv.Handler(), "/flows/1"); code != 404 {
+		t.Fatal("nil attr /flows/1 should 404")
+	}
+	if code, _ := get(t, srv.Handler(), "/events"); code != 404 {
+		t.Fatal("nil flight /events should 404")
+	}
+	if code, _ := get(t, srv.Handler(), "/metrics"); code != 200 {
+		t.Fatal("empty snapshot /metrics should still 200")
+	}
+}
+
+// TestServerEventStream drives the NDJSON feed over a real listener:
+// events recorded after the stream opens arrive as JSON lines, and the
+// stream ends when the client goes away.
+func TestServerEventStream(t *testing.T) {
+	fl := trace.NewFlight(64)
+	srv := NewServer(nil, fl, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	fl.Record(trace.Event{At: 5, Kind: trace.KindIngress, FlowID: 3, Seq: 9, Switch: 1, Port: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	line, err := bufio.NewReader(resp.Body).ReadString('\n')
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	var ev struct {
+		At   sim.Time `json:"at_ns"`
+		Kind string   `json:"kind"`
+		Flow uint32   `json:"flow"`
+	}
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", line, err)
+	}
+	if ev.At != 5 || ev.Flow != 3 || ev.Kind == "" {
+		t.Fatalf("streamed event wrong: %+v", ev)
+	}
+	cancel() // client departs; the handler's poll loop must exit
+}

@@ -84,6 +84,11 @@ type Watchdog struct {
 
 	started bool
 	stopped bool
+
+	// OnAudit, when set, runs on the simulation thread at the end of
+	// every audit sweep — the observability layer publishes watchdog
+	// state to its health board from it.
+	OnAudit func()
 }
 
 // NewWatchdog returns a watchdog auditing every interval, counting
@@ -208,7 +213,20 @@ func (w *Watchdog) tick(e *sim.Engine) {
 				i, h, frer.MaxHistory))
 		}
 	}
+	if w.OnAudit != nil {
+		w.OnAudit()
+	}
 	w.engine.After(w.interval, "watchdog:tick", w.tick)
+}
+
+// Degraded reports whether any watched switch currently sheds traffic.
+func (w *Watchdog) Degraded() bool {
+	for _, sw := range w.switches {
+		if sw.DegradeLevel() > tsnswitch.DegradeOff {
+			return true
+		}
+	}
+	return false
 }
 
 // drivePolicy moves switch i's degradation level along the ladder:

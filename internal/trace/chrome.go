@@ -30,15 +30,25 @@ type chromeArgs struct {
 type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 	TraceEvents     []chromeEvent `json:"traceEvents"`
+	// TruncatedEvents is the recorder's Truncated() count: how many
+	// events the Limit dropped and this export therefore lacks. Zero on
+	// a complete trace; tooling must treat a non-zero value as an
+	// incomplete view, not a clean run.
+	TruncatedEvents uint64 `json:"truncatedEvents"`
 }
 
 // WriteChrome exports every stored event as a thread-scoped instant
 // event: pid = switch, tid = port, name = event kind. The output loads
 // directly into chrome://tracing or Perfetto; the traceEvents array
-// holds exactly Len() entries (no metadata records), so tooling can
-// cross-check completeness against the recorder.
+// holds exactly Len() entries (no metadata records), and the top-level
+// truncatedEvents field carries Truncated() so tooling can cross-check
+// completeness against the recorder.
 func (r *Recorder) WriteChrome(w io.Writer) error {
-	out := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	out := chromeTrace{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     []chromeEvent{},
+		TruncatedEvents: r.Truncated(),
+	}
 	if r != nil {
 		out.TraceEvents = make([]chromeEvent, 0, len(r.events))
 		for _, ev := range r.events {

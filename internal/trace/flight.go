@@ -1,0 +1,138 @@
+package trace
+
+import "sync"
+
+// Flight is the always-on flight recorder: a fixed-capacity ring of the
+// most recent dataplane events, kept cheap enough to leave enabled in
+// every run (one mutexed copy into a preallocated ring slot, zero
+// allocations after construction — the same philosophy as the engine's
+// generation-counted free list). Where Recorder stores a complete trace
+// for offline analysis and is opt-in, Flight keeps only the recent past
+// so that a deadline miss, a watchdog degradation or an injected fault
+// can dump the events leading up to it.
+//
+// Unlike the rest of the dataplane, Flight is safe for concurrent use:
+// the simulation thread records while the telemetry server reads
+// snapshots and streams increments.
+type Flight struct {
+	mu  sync.Mutex
+	buf []Event
+	// seq counts events ever recorded; it is the generation cursor for
+	// Since and tells readers how much history the ring has dropped.
+	seq uint64
+}
+
+// NewFlight builds a recorder holding the last capacity events.
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		panic("trace: non-positive flight recorder capacity")
+	}
+	return &Flight{buf: make([]Event, capacity)}
+}
+
+// Record stores one event, overwriting the oldest when the ring is
+// full. Nil-safe so dataplanes can call it unconditionally.
+func (fl *Flight) Record(ev Event) {
+	if fl == nil {
+		return
+	}
+	fl.mu.Lock()
+	fl.buf[fl.seq%uint64(len(fl.buf))] = ev
+	fl.seq++
+	fl.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (fl *Flight) Cap() int {
+	if fl == nil {
+		return 0
+	}
+	return len(fl.buf)
+}
+
+// Seq returns the total number of events ever recorded. Events with
+// ordinal < Seq()-Cap() have been overwritten.
+func (fl *Flight) Seq() uint64 {
+	if fl == nil {
+		return 0
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.seq
+}
+
+// Len returns how many events the ring currently holds.
+func (fl *Flight) Len() int {
+	if fl == nil {
+		return 0
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.len()
+}
+
+func (fl *Flight) len() int {
+	if fl.seq < uint64(len(fl.buf)) {
+		return int(fl.seq)
+	}
+	return len(fl.buf)
+}
+
+// Snapshot copies the retained events oldest-first.
+func (fl *Flight) Snapshot() []Event {
+	if fl == nil {
+		return nil
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	n := fl.len()
+	out := make([]Event, n)
+	start := fl.seq - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = fl.buf[(start+uint64(i))%uint64(len(fl.buf))]
+	}
+	return out
+}
+
+// SnapshotFlow copies the retained events of one flow, oldest-first —
+// the "offending span chain" a deadline-miss dump wants.
+func (fl *Flight) SnapshotFlow(flowID uint32) []Event {
+	if fl == nil {
+		return nil
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	n := fl.len()
+	start := fl.seq - uint64(n)
+	var out []Event
+	for i := 0; i < n; i++ {
+		ev := fl.buf[(start+uint64(i))%uint64(len(fl.buf))]
+		if ev.FlowID == flowID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Since appends the events recorded after cursor to buf (oldest-first)
+// and returns the extended slice plus the new cursor — the streaming
+// read primitive for the telemetry server's event feed. If the ring has
+// wrapped past cursor the overwritten events are skipped; the caller
+// can detect the gap by comparing next-cursor deltas against the
+// returned length.
+func (fl *Flight) Since(cursor uint64, buf []Event) (out []Event, next uint64) {
+	if fl == nil {
+		return buf, cursor
+	}
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	n := fl.len()
+	oldest := fl.seq - uint64(n)
+	if cursor < oldest {
+		cursor = oldest
+	}
+	for ; cursor < fl.seq; cursor++ {
+		buf = append(buf, fl.buf[cursor%uint64(len(fl.buf))])
+	}
+	return buf, fl.seq
+}

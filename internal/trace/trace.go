@@ -67,6 +67,9 @@ type Recorder struct {
 	// are counted but not stored.
 	Limit   int
 	dropped uint64
+	// droppedKind breaks the truncation down per event kind so Filter
+	// callers can tell exactly how incomplete their view is.
+	droppedKind map[Kind]uint64
 }
 
 // Record appends one event.
@@ -76,6 +79,10 @@ func (r *Recorder) Record(ev Event) {
 	}
 	if r.Limit > 0 && len(r.events) >= r.Limit {
 		r.dropped++
+		if r.droppedKind == nil {
+			r.droppedKind = make(map[Kind]uint64)
+		}
+		r.droppedKind[ev.Kind]++
 		return
 	}
 	if r.byPacket == nil {
@@ -103,6 +110,20 @@ func (r *Recorder) Truncated() uint64 {
 	return r.dropped
 }
 
+// Complete reports whether the recorder holds every event it was
+// offered. When false, Packet and Filter views are missing events and
+// absence of evidence is not evidence of absence.
+func (r *Recorder) Complete() bool { return r.Truncated() == 0 }
+
+// DroppedOfKind returns how many events of the given kind were lost to
+// truncation — the exact deficit of a Filter(kind) result.
+func (r *Recorder) DroppedOfKind(kind Kind) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.droppedKind[kind]
+}
+
 // Events returns all stored events in record order.
 func (r *Recorder) Events() []Event {
 	if r == nil {
@@ -111,7 +132,10 @@ func (r *Recorder) Events() []Event {
 	return r.events
 }
 
-// Packet returns a packet's events in record (time) order.
+// Packet returns a packet's events in record (time) order. When the
+// recorder is truncated (Complete() == false) the journey may be
+// missing its tail: callers reconstructing per-hop invariants must
+// check Truncated() before treating a short chain as a drop.
 func (r *Recorder) Packet(flowID, seq uint32) []Event {
 	if r == nil {
 		return nil
@@ -127,6 +151,8 @@ func (r *Recorder) Packet(flowID, seq uint32) []Event {
 // Filter returns stored events matching kind. A counting pass sizes
 // the result exactly, so the append loop never reallocates — traces
 // run to millions of events and the doubling copies dominated.
+// DroppedOfKind(kind) tells how many matching events truncation lost
+// from the result.
 func (r *Recorder) Filter(kind Kind) []Event {
 	if r == nil {
 		return nil

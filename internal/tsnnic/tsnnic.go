@@ -148,8 +148,11 @@ func (n *NIC) drain() {
 		f := n.fifos[ci][0]
 		n.fifos[ci] = n.fifos[ci][1:]
 		// Stamp the tester timestamp when the frame actually hits the
-		// wire: queueing inside the tester is not network latency.
+		// wire: queueing inside the tester is not network latency. The
+		// attribution span anchors at the same instant so its buckets
+		// sum exactly to the analyzer's latency.
 		f.SentAt = n.engine.Now()
+		f.Span.Begin(f.SentAt)
 		n.busy = true
 		n.ifc.Transmit(f, func() {
 			n.busy = false

@@ -31,6 +31,9 @@ type Switch struct {
 
 	// Tracer, when non-nil, receives per-packet dataplane events.
 	Tracer *trace.Recorder
+	// Flight, when non-nil, receives the same events into the always-on
+	// ring-buffer flight recorder (last-N history for post-mortem dumps).
+	Flight *trace.Flight
 
 	stats Stats
 	// degrade is the graceful-degradation level the watchdog drives;
@@ -42,16 +45,19 @@ type Switch struct {
 	metrics *metrics.Registry
 }
 
-// emit records a trace event if tracing is enabled.
+// emit records a trace event if tracing or the flight recorder is
+// enabled.
 func (sw *Switch) emit(kind trace.Kind, port, queue int, f *ethernet.Frame, detail string) {
-	if sw.Tracer == nil {
+	if sw.Tracer == nil && sw.Flight == nil {
 		return
 	}
-	sw.Tracer.Record(trace.Event{
+	ev := trace.Event{
 		At: sw.engine.Now(), Kind: kind,
 		Switch: sw.cfg.ID, Port: port, Queue: queue,
 		FlowID: f.FlowID, Seq: f.Seq, Detail: detail,
-	})
+	}
+	sw.Flight.Record(ev)
+	sw.Tracer.Record(ev)
 }
 
 // Port is one enabled TSN port with its exclusive queue set, buffer
@@ -70,6 +76,13 @@ type Port struct {
 	// metEnq has one admitted-frames counter per queue; always sized
 	// len(queues) so the enqueue path indexes it unconditionally.
 	metEnq []metrics.Counter
+
+	// shapeBlockedAt[q] is the engine instant the egress scheduler first
+	// found queue q blocked solely by CBS credit (gate open, frames
+	// waiting); zero when not blocked. Consumed — and clamped against
+	// the head frame's actual wait — when the queue next pops, to
+	// attribute shaper hold time in the frame's latency span.
+	shapeBlockedAt []sim.Time
 
 	transmitting bool
 	retryPending bool
@@ -128,6 +141,7 @@ func New(engine *sim.Engine, cfg Config) *Switch {
 			port.queues = append(port.queues, buffering.NewQueue(cfg.QueueDepth))
 		}
 		port.metEnq = make([]metrics.Counter, cfg.QueuesPerPort)
+		port.shapeBlockedAt = make([]sim.Time, cfg.QueuesPerPort)
 		sw.ports = append(sw.ports, port)
 	}
 	sw.metrics = cfg.Metrics
@@ -355,6 +369,11 @@ func (p *Port) selectQueue(local sim.Time) (int, bool) {
 			continue
 		}
 		if cbs := p.bank.For(q); cbs != nil && !cbs.Eligible(sw.engine.Now()) {
+			// The only blocker is shaper credit: stamp the onset so the
+			// hold shows up as Shape (not Queue) in the frame's span.
+			if p.shapeBlockedAt[q] == 0 {
+				p.shapeBlockedAt[q] = sw.engine.Now()
+			}
 			continue
 		}
 		if q == sw.cfg.TSQueueA || q == sw.cfg.TSQueueB {
@@ -389,6 +408,7 @@ func (p *Port) tryTransmit() {
 		return
 	}
 	d, _ := p.queues[q].Pop()
+	p.claimWait(q, local, d)
 	if cbs := p.bank.For(q); cbs != nil {
 		cbs.OnSend(sw.engine.Now(), int64(d.Frame.WireBytes())*8,
 			ethernet.FrameTxTime(d.Frame, sw.cfg.RateFor(p.id)))
@@ -409,6 +429,82 @@ func (p *Port) tryTransmit() {
 		p.tryTransmit()
 	})
 	p.txBufSlot = d.Slot
+}
+
+// maxGateScan bounds the analytic gate-wait walk: past this many
+// boundaries the remainder books as queue wait. With CQF's two-entry
+// schedules 64 boundaries span 32 cycles — far beyond any wait a
+// healthy configuration produces.
+const maxGateScan = 64
+
+// gateWait returns the gate-schedule share of a wait over the local
+// window [from, to): time the egress gate of queue q was closed, plus —
+// for the CQF TS queues — the length-aware guard band (the last `need`
+// of an open interval the gate closed again before `to`, which the
+// frame could not use). Uses PeekState, so probing never perturbs the
+// rollover counters bound to StateAt.
+func (p *Port) gateWait(q int, from, to, need sim.Time) sim.Time {
+	if to <= from {
+		return 0
+	}
+	guard := p.isExpress(q)
+	var wait sim.Time
+	t := from
+	for i := 0; i < maxGateScan && t < to; i++ {
+		next := p.outGCL.NextBoundary(t)
+		closesBeforeTo := next < to
+		if next > to {
+			next = to
+		}
+		if !p.outGCL.PeekState(t).Open(q) {
+			wait += next - t
+		} else if guard && closesBeforeTo {
+			if g := need; g > next-t {
+				wait += next - t
+			} else {
+				wait += g
+			}
+		}
+		t = next
+	}
+	return wait
+}
+
+// claimWait attributes the popped frame's wait at this hop: the gate
+// share is computed analytically from the schedule, the shaper share
+// from the CBS-blocked stamp; both are clamped so their sum never
+// exceeds the actual wait, leaving the remainder (HOL blocking, busy
+// wire, preemption gaps) to the span's queue bucket at delivery. The
+// local/engine time bases drift by the synchronized clock's rate error
+// (< 1e-4), negligible against any wait worth attributing.
+func (p *Port) claimWait(q int, local sim.Time, d buffering.Descriptor) {
+	sw := p.sw
+	blockedAt := p.shapeBlockedAt[q]
+	p.shapeBlockedAt[q] = 0
+	if !d.Frame.Span.Active() {
+		return
+	}
+	wait := sw.engine.Now() - d.EnqueuedAt
+	if wait <= 0 {
+		return
+	}
+	g := p.gateWait(q, local-wait, local, ethernet.FrameTxTime(d.Frame, sw.cfg.RateFor(p.id)))
+	if g > wait {
+		g = wait
+	}
+	var s sim.Time
+	if blockedAt > 0 {
+		if blockedAt < d.EnqueuedAt {
+			blockedAt = d.EnqueuedAt // block predates the frame
+		}
+		s = sw.engine.Now() - blockedAt
+	}
+	if s > wait-g {
+		s = wait - g
+	}
+	if g > 0 || s > 0 {
+		d.Frame.Span.Claim(g, s)
+	}
 }
 
 // resumeSuspended continues a preempted frame's remaining fragment.

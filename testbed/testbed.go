@@ -10,6 +10,8 @@ package testbed
 import (
 	"fmt"
 	"io"
+	stdnet "net"
+	"net/http"
 	"sort"
 	"strconv"
 
@@ -24,6 +26,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/gptp"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
+	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 	"github.com/tsnbuilder/tsnbuilder/internal/pcap"
 	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
@@ -93,11 +96,21 @@ type Net struct {
 	Switches  []*tsnswitch.Switch
 	NICs      map[int]*tsnnic.NIC
 	Collector *analyzer.Collector
-	Domain    *gptp.Domain      // nil without gPTP
-	Tracer    *trace.Recorder   // nil unless EnableTrace
-	Capture   *pcap.Writer      // nil unless Options.Pcap set
-	Metrics   *metrics.Registry // nil unless Options.Metrics set
-	Injector  *faults.Injector  // nil unless Options.Faults set
+	Domain    *gptp.Domain    // nil without gPTP
+	Tracer    *trace.Recorder // nil unless EnableTrace
+	// Flight is the always-on bounded flight recorder every switch
+	// writes into; the attribution layer dumps it on deadline misses,
+	// watchdog degradation and fault injection.
+	Flight *trace.Flight
+	// Attr decomposes every delivery's latency into per-flow component
+	// breakdowns; nil unless Options.Metrics is set.
+	Attr *obs.Attribution
+	// Health is the live health board the telemetry /healthz serves;
+	// the watchdog publishes into it.
+	Health   *obs.Health
+	Capture  *pcap.Writer      // nil unless Options.Pcap set
+	Metrics  *metrics.Registry // nil unless Options.Metrics set
+	Injector *faults.Injector  // nil unless Options.Faults set
 	// Reconfig is the transactional live-reconfiguration controller;
 	// always present so fault scenarios can arm mid-apply failures.
 	Reconfig *reconfig.Controller
@@ -139,6 +152,11 @@ type progState struct {
 type pq struct{ sw, port, q int }
 type bankKey struct{ sw, port int }
 
+// flightCapacity is the always-on flight recorder's ring size: enough
+// recent dataplane events to reconstruct the span chain of a deadline
+// miss, small enough to keep resident cost bounded (~4 MB).
+const flightCapacity = 1 << 16
+
 // Build assembles the network.
 func Build(opts Options) (*Net, error) {
 	if opts.Design == nil || opts.Topo == nil {
@@ -166,6 +184,8 @@ func Build(opts Options) (*Net, error) {
 	if opts.EnableTrace {
 		n.Tracer = &trace.Recorder{Limit: 1 << 20}
 	}
+	n.Flight = trace.NewFlight(flightCapacity)
+	n.Health = &obs.Health{}
 	if opts.Metrics != nil {
 		n.Metrics = opts.Metrics
 		opts.Metrics.Help("tsn_sim_events_total", "discrete events executed")
@@ -175,6 +195,8 @@ func Build(opts Options) (*Net, error) {
 			opts.Metrics.Gauge("tsn_sim_heap_depth_high_water"),
 		)
 		n.Collector.Instrument(opts.Metrics)
+		n.Attr = obs.NewAttribution(opts.Metrics, n.Flight)
+		n.Collector.SetLatencySink(n.Attr)
 	}
 
 	// Access ports run at AccessRate when configured.
@@ -201,6 +223,7 @@ func Build(opts Options) (*Net, error) {
 		}
 		sw := tsnswitch.New(engine, cfg)
 		sw.Tracer = n.Tracer
+		sw.Flight = n.Flight
 		n.Switches = append(n.Switches, sw)
 	}
 
@@ -283,6 +306,20 @@ func Build(opts Options) (*Net, error) {
 		for _, tbl := range n.sortedRecovery() {
 			n.Watchdog.WatchFRER(tbl)
 		}
+		// Publish watchdog state to the health board after every sweep;
+		// a fresh degradation also snapshots the flight recorder so the
+		// events that led into the pressure survive the ring.
+		w := n.Watchdog
+		wasDegraded := false
+		w.OnAudit = func() {
+			degraded := w.Degraded()
+			n.Health.SetDegraded(degraded, w.LastDetail())
+			n.Health.SetAudit(w.Audits(), w.TotalViolations())
+			if degraded && !wasDegraded && n.Attr != nil {
+				n.Attr.DumpNow("watchdog:degraded", engine.Now())
+			}
+			wasDegraded = degraded
+		}
 		n.Watchdog.Start()
 	}
 
@@ -290,6 +327,11 @@ func Build(opts Options) (*Net, error) {
 	// schedule every fault (absolute sim time, from now = 0).
 	if opts.Faults != nil {
 		n.Injector = faults.NewInjector(engine, opts.Seed, opts.Metrics)
+		if n.Attr != nil {
+			n.Injector.OnInject = func(kind string) {
+				n.Attr.DumpNow("fault:"+kind, engine.Now())
+			}
+		}
 		if err := n.Injector.Apply(opts.Faults, n.faultBindings()); err != nil {
 			return nil, err
 		}
@@ -652,6 +694,45 @@ func (n *Net) Run(warmup, duration sim.Time) {
 	// Drain: two slots plus cable time covers any in-flight CQF frame.
 	drain := 4*n.opts.Design.Config.SlotSize + sim.Millisecond
 	n.Engine.RunUntil(stop + drain)
+}
+
+// telemetryPublishInterval is the simulated-time cadence at which the
+// telemetry server's registry snapshot refreshes during a run.
+const telemetryPublishInterval = 10 * sim.Millisecond
+
+// NewTelemetryServer builds the live telemetry server over this
+// network's attribution, flight recorder and health board, and arms a
+// periodic engine event republishing the registry snapshot — the HTTP
+// goroutines only ever read published copies, never the hot-path cells.
+// Use Serve to also bind a TCP listener.
+func (n *Net) NewTelemetryServer() *obs.Server {
+	srv := obs.NewServer(n.Attr, n.Flight, n.Health)
+	if n.Metrics != nil {
+		srv.Publish(n.Metrics.Snapshot())
+		var tick func(e *sim.Engine)
+		tick = func(e *sim.Engine) {
+			srv.Publish(n.Metrics.Snapshot())
+			e.After(telemetryPublishInterval, "obs:publish", tick)
+		}
+		n.Engine.After(telemetryPublishInterval, "obs:publish", tick)
+	}
+	return srv
+}
+
+// Serve starts the live telemetry HTTP server on addr (e.g. ":9090",
+// or ":0" for an ephemeral port) and returns the server plus the bound
+// address. The listener serves from its own goroutines for the life of
+// the process; snapshots refresh every telemetryPublishInterval of
+// simulated time while the engine runs (call srv.Publish once more
+// after the run for the final state).
+func (n *Net) Serve(addr string) (*obs.Server, string, error) {
+	srv := n.NewTelemetryServer()
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	return srv, ln.Addr().String(), nil
 }
 
 // LiveConfig returns the configuration currently in force: the design's
