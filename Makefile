@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short race vet lint bench bench-json fuzz examples reproduce clean
+.PHONY: all build test short race vet lint bench bench-json fuzz chaos examples reproduce clean
 
 all: build vet test
 
@@ -41,6 +41,13 @@ bench-json:
 fuzz:
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/ethernet/
 	go test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/gptp/
+	go test -fuzz=FuzzParse -fuzztime=30s ./internal/faults/
+
+# chaos runs a randomized invariant-checking campaign (fixed default
+# seed — rerun with the same profile to reproduce); failing cases leave
+# minimal-repro artifacts in chaos-out/.
+chaos:
+	go run ./cmd/tsnsim -chaos default -chaos-budget 60s -chaos-out chaos-out
 
 examples:
 	@for ex in quickstart ring-industrial star-production-cell \

@@ -16,16 +16,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
 	"syscall"
+	"time"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
@@ -54,7 +55,7 @@ func main() {
 		p.Metrics = metrics.New()
 	}
 	if *serve != "" {
-		if err := serveTelemetry(*serve, p.Metrics); err != nil {
+		if _, err := serveTelemetry(*serve, p.Metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "tsnbench:", err)
 			os.Exit(1)
 		}
@@ -73,10 +74,21 @@ func main() {
 	}
 	if *serve != "" {
 		fmt.Println("telemetry: holding final state — interrupt to exit")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		<-benchSignals()
+		if err := drainTelemetry(); err != nil {
+			// The server is down either way; an interrupted hold after a
+			// successful run still exits 0.
+			fmt.Println("telemetry: drain timed out, connections force-closed:", err)
+		}
 	}
+}
+
+// benchSignals returns the channel the -serve hold blocks on
+// (SIGINT/SIGTERM); tests swap it for a channel they control.
+var benchSignals = func() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
 }
 
 // publishTelemetry refreshes the served snapshot; a no-op without
@@ -84,20 +96,34 @@ func main() {
 // sections), so it never races the sweeps' hot-path registry writes.
 var publishTelemetry = func() {}
 
+// drainTelemetry gracefully shuts the telemetry server down, draining
+// in-flight requests; a no-op without -serve.
+var drainTelemetry = func() error { return nil }
+
+// telemetryDrainTimeout bounds how long the exit path waits for
+// in-flight requests before force-closing their connections.
+const telemetryDrainTimeout = 5 * time.Second
+
 // serveTelemetry starts the telemetry server over the accumulated
 // experiment registry — /metrics refreshes after every emitted series,
-// /debug/pprof profiles the runner itself live.
-func serveTelemetry(addr string, reg *metrics.Registry) error {
+// /debug/pprof profiles the runner itself live. It returns the bound
+// address and arms drainTelemetry for the graceful exit path.
+func serveTelemetry(addr string, reg *metrics.Registry) (string, error) {
 	srv := obs.NewServer(nil, nil, nil)
 	srv.Publish(reg.Snapshot())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return err
+		return "", err
 	}
-	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	go func() { _ = srv.Serve(ln) }()
 	fmt.Printf("telemetry: live on http://%s (/metrics /debug/pprof)\n", ln.Addr())
 	publishTelemetry = func() { srv.Publish(reg.Snapshot()) }
-	return nil
+	drainTelemetry = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), telemetryDrainTimeout)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), nil
 }
 
 // writeMetrics dumps the registry to path ("-" = stdout).

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"net/http"
 	"testing"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 )
 
 func tiny() experiments.Params {
@@ -32,5 +34,34 @@ func TestRunFigures(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run("nope", tiny()); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestServeTelemetryGracefulDrain checks the -serve exit path: the
+// server answers /metrics while held, drainTelemetry shuts it down
+// cleanly, and the listener stops accepting afterwards.
+func TestServeTelemetryGracefulDrain(t *testing.T) {
+	oldPublish, oldDrain := publishTelemetry, drainTelemetry
+	defer func() { publishTelemetry, drainTelemetry = oldPublish, oldDrain }()
+
+	addr, err := serveTelemetry("127.0.0.1:0", metrics.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics = %d before drain", resp.StatusCode)
+	}
+	if err := drainTelemetry(); err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if resp, err := http.Get(base + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("listener still accepting connections after drain")
 	}
 }

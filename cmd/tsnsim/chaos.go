@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/chaos"
+)
+
+// chaosOpts bundles the -chaos flag family.
+type chaosOpts struct {
+	profile  string // profile JSON path, or "default"
+	runs     int
+	budget   time.Duration
+	parallel int
+	out      string
+}
+
+// runChaos executes a chaos campaign and writes a minimal-repro
+// artifact set for every failing case into o.out. It returns whether
+// any invariant oracle rejected a case (the caller exits 1 on true)
+// and any infrastructure error.
+func runChaos(o chaosOpts) (bool, error) {
+	p := chaos.DefaultProfile()
+	if o.profile != "default" {
+		loaded, err := chaos.LoadProfile(o.profile)
+		if err != nil {
+			return true, err
+		}
+		p = loaded
+	}
+	fmt.Printf("chaos: campaign seed=%d runs=%d topologies=%v budget=%v\n",
+		p.Seed, campaignRuns(p, o.runs), p.Topologies, o.budget)
+	sum, err := chaos.RunCampaign(chaos.Options{
+		Profile:  p,
+		Runs:     o.runs,
+		Budget:   o.budget,
+		Parallel: o.parallel,
+		Log:      func(format string, args ...any) { fmt.Printf("chaos: "+format+"\n", args...) },
+	})
+	if err != nil {
+		return true, err
+	}
+	fmt.Printf("chaos: executed %d/%d cases, %d determinism checks, %d failures, %d errors\n",
+		sum.Executed, sum.Planned, sum.DeterminismChecks, len(sum.Failures), len(sum.Errors))
+	for _, e := range sum.Errors {
+		fmt.Printf("chaos: ERROR %s\n", e)
+	}
+	for _, f := range sum.Failures {
+		name := fmt.Sprintf("case%04d", f.Result.Case.Index)
+		path, werr := chaos.WriteRepro(o.out, name, f.Minimal, f.MinimalViolations)
+		if werr != nil {
+			return true, fmt.Errorf("writing repro for case %d: %w", f.Result.Case.Index, werr)
+		}
+		fmt.Printf("chaos: case %d FAILED (%d violations), minimal repro (%d faults) at %s\n",
+			f.Result.Case.Index, len(f.MinimalViolations), len(f.Minimal.Faults), path)
+		for _, v := range f.MinimalViolations {
+			fmt.Printf("chaos:   %s\n", v)
+		}
+	}
+	if !sum.Failed() {
+		fmt.Println("chaos: all invariants held")
+	}
+	return sum.Failed(), nil
+}
+
+// campaignRuns mirrors RunCampaign's run-count resolution for the
+// banner line.
+func campaignRuns(p chaos.Profile, override int) int {
+	if override > 0 {
+		return override
+	}
+	return p.MaxRuns
+}
+
+// runChaosReplay re-executes a minimal-repro artifact written by a
+// previous campaign. It returns whether the recorded violations still
+// reproduce (the caller exits 1 on true, matching the campaign's exit
+// semantics: non-zero means an invariant is violated).
+func runChaosReplay(path string) (bool, error) {
+	repro, err := chaos.LoadRepro(path)
+	if err != nil {
+		return true, err
+	}
+	fmt.Printf("chaos: replaying %s (case %d, seed %d, %d faults)\n",
+		path, repro.Case.Index, repro.Case.Seed, len(repro.Case.Faults))
+	res, err := chaos.Execute(repro.Case)
+	if err != nil {
+		return true, err
+	}
+	if len(res.Violations) == 0 {
+		fmt.Println("chaos: repro did NOT reproduce — all invariants held")
+		return false, nil
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("chaos: reproduced %s\n", v)
+	}
+	return true, nil
+}

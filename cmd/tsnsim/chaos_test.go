@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/chaos"
+)
+
+// wedgeProfile writes a small campaign profile guaranteed to seed the
+// mid-commit wedge bug (reconfig_prob=1, wedge_prob=1) and returns its
+// path — the CLI loads it the way a user's -chaos <file> would.
+func wedgeProfile(t *testing.T, dir string) string {
+	t.Helper()
+	p := chaos.DefaultProfile()
+	p.MaxRuns = 6
+	p.Topologies = []string{"bidir-ring"}
+	p.MaxSwitches = 5
+	p.MinTSFlows = 2
+	p.MaxTSFlows = 6
+	p.MinDurMs = 10
+	p.MaxDurMs = 15
+	p.MaxFaults = 3
+	p.RCMaxMbps = 20
+	p.BEMaxMbps = 20
+	p.ReconfigProb = 1
+	p.WedgeProb = 1
+	p.TransientProb = 0
+	p.DeterminismEvery = 0
+	p.Seed = 7
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wedge-profile.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestChaosCampaignCLI drives the whole -chaos surface: a wedge-heavy
+// profile must produce failures, write minimal-repro artifacts, and
+// -chaos-replay of an artifact must still reproduce the violation.
+func TestChaosCampaignCLI(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "repros")
+	failed, err := runChaos(chaosOpts{
+		profile:  wedgeProfile(t, dir),
+		parallel: 4,
+		out:      out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("wedge-heavy campaign reported no failures")
+	}
+	repros, err := filepath.Glob(filepath.Join(out, "*.repro.json"))
+	if err != nil || len(repros) == 0 {
+		t.Fatalf("no repro artifacts written to %s (err %v)", out, err)
+	}
+	reproduced, err := runChaosReplay(repros[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reproduced {
+		t.Fatalf("replay of %s did not reproduce", repros[0])
+	}
+}
+
+// TestChaosReplayBudgetZeroExit checks the passing side of the exit
+// contract: a campaign whose oracles all hold reports failed=false.
+func TestChaosCleanCampaignPasses(t *testing.T) {
+	dir := t.TempDir()
+	p := chaos.DefaultProfile()
+	p.MaxRuns = 4
+	p.Topologies = []string{"ring", "linear"}
+	p.MaxSwitches = 5
+	p.MinTSFlows = 2
+	p.MaxTSFlows = 6
+	p.MinDurMs = 10
+	p.MaxDurMs = 15
+	p.MaxFaults = 2
+	p.RCMaxMbps = 0
+	p.BEMaxMbps = 0
+	p.ReconfigProb = 0
+	p.DeterminismEvery = 2
+	p.Seed = 3
+	data, _ := json.Marshal(p)
+	path := filepath.Join(dir, "clean.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failed, err := runChaos(chaosOpts{profile: path, parallel: 2, out: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("clean campaign reported failures")
+	}
+}
+
+// TestChaosReproReplaysThroughPlainTsnsim proves the acceptance
+// contract end to end: the minimal repro's sidecar files drive a plain
+// tsnsim run (-faults/-reconfig), i.e. the artifact is not tied to the
+// chaos harness.
+func TestChaosReproReplaysThroughPlainTsnsim(t *testing.T) {
+	dir := t.TempDir()
+	failed, err := runChaos(chaosOpts{
+		profile:  wedgeProfile(t, dir),
+		parallel: 4,
+		out:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatal("campaign found nothing to replay")
+	}
+	repros, _ := filepath.Glob(filepath.Join(dir, "*.repro.json"))
+	repro, err := chaos.LoadRepro(repros[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := repro.Case
+	o := runOpts{
+		topo: c.Topology, switches: c.Switches, flows: c.TSFlows,
+		hops: c.Hops, size: c.WireSize, slotUs: c.SlotUs,
+		rcMbps: c.RCMbps, beMbps: c.BEMbps, durMs: c.DurMs,
+		seed: c.Seed, frer: c.FRERFlows, watchdog: c.Watchdog,
+		retries: c.RetryMax,
+		backoff: time.Duration(c.RetryBackoffUs) * time.Microsecond,
+	}
+	base := strings.TrimSuffix(repros[0], ".repro.json")
+	if _, err := os.Stat(base + ".faults.json"); err == nil {
+		o.faults = base + ".faults.json"
+	}
+	if _, err := os.Stat(base + ".reconfig.json"); err == nil {
+		o.reconfig = base + ".reconfig.json"
+	}
+	if o.faults == "" || o.reconfig == "" {
+		t.Fatalf("wedge repro missing sidecars (faults=%q reconfig=%q)", o.faults, o.reconfig)
+	}
+	net, err := run(o, nil)
+	if err != nil {
+		t.Fatalf("plain tsnsim replay rejected the repro: %v", err)
+	}
+	// The replayed wedge leaves the reconfiguration half-applied: the
+	// live config claims the pre state while some switch carries
+	// candidate values — exactly what VerifyLive detects.
+	if err := net.VerifyLive(); err == nil {
+		t.Fatal("replay did not reproduce the partial-commit state")
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -28,14 +29,13 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
 	"github.com/tsnbuilder/tsnbuilder/internal/faults"
-	"github.com/tsnbuilder/tsnbuilder/internal/flows"
 	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
 	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
-	"github.com/tsnbuilder/tsnbuilder/internal/topology"
 	"github.com/tsnbuilder/tsnbuilder/internal/trace"
 	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
 	"github.com/tsnbuilder/tsnbuilder/testbed"
 )
 
@@ -52,8 +52,12 @@ type runOpts struct {
 	durMs      int
 	gptp       bool
 	seed       uint64
+	frer       int
+	watchdog   bool
 	faults     string
 	reconfig   string
+	retries    int
+	backoff    time.Duration
 	deadline   time.Duration
 	tsDeadline time.Duration
 	serve      string
@@ -80,8 +84,12 @@ func main() {
 	flag.IntVar(&o.durMs, "duration", 100, "measurement window (ms)")
 	noGPTP := flag.Bool("no-gptp", false, "run with perfect clocks instead of gPTP")
 	flag.Uint64Var(&o.seed, "seed", 42, "workload seed")
+	flag.IntVar(&o.frer, "frer", 0, "make the first n TS flows 802.1CB-redundant (bidir-ring only, max 64)")
+	flag.BoolVar(&o.watchdog, "watchdog", false, "run the invariant watchdog and graceful-degradation policy")
 	flag.StringVar(&o.faults, "faults", "", "fault-scenario JSON file to inject during the run")
 	flag.StringVar(&o.reconfig, "reconfig", "", "live-reconfiguration JSON file to apply mid-run")
+	flag.IntVar(&o.retries, "reconfig-retries", 0, "retry a failed reconfig commit up to this many times")
+	flag.DurationVar(&o.backoff, "reconfig-backoff", 0, "backoff between reconfig commit retries (simulated time)")
 	flag.DurationVar(&o.deadline, "deadline", 0, "abort with a diagnostic if the run exceeds this wall-clock time (e.g. 30s)")
 	flag.DurationVar(&o.tsDeadline, "ts-deadline", 0, "override every TS flow's latency deadline (tight values force misses, e.g. 10us)")
 	flag.StringVar(&o.serve, "serve", "", "serve live telemetry on this address (e.g. :9090); holds after the run until interrupted")
@@ -92,11 +100,39 @@ func main() {
 	flag.BoolVar(&o.metricsJSON, "metrics-json", false, "export -metrics as JSON instead of Prometheus text")
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write the packet trace as Chrome trace-event JSON to this file")
 	flag.DurationVar(&o.progress, "progress", 0, "print progress to stderr at this wall-clock interval (e.g. 2s)")
+	var co chaosOpts
+	flag.StringVar(&co.profile, "chaos", "", "run a chaos campaign from this profile JSON ('default' for the built-in profile) instead of one simulation")
+	flag.IntVar(&co.runs, "chaos-runs", 0, "override the profile's case count")
+	flag.DurationVar(&co.budget, "chaos-budget", 0, "wall-clock budget; the campaign stops claiming new cases when it expires")
+	flag.IntVar(&co.parallel, "chaos-parallel", 0, "campaign worker count (default GOMAXPROCS)")
+	flag.StringVar(&co.out, "chaos-out", "chaos-out", "directory for minimal-repro artifacts of failing cases")
+	chaosReplay := flag.String("chaos-replay", "", "re-execute a minimal-repro artifact (<case>.repro.json) and report whether it still reproduces")
 	flag.Parse()
 	o.gptp = !*noGPTP
-	if err := runWithOutputs(o); err != nil {
-		fmt.Fprintln(os.Stderr, "tsnsim:", err)
-		os.Exit(1)
+	switch {
+	case *chaosReplay != "":
+		reproduced, err := runChaosReplay(*chaosReplay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsnsim:", err)
+			os.Exit(1)
+		}
+		if reproduced {
+			os.Exit(1)
+		}
+	case co.profile != "":
+		failed, err := runChaos(co)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tsnsim:", err)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	default:
+		if err := runWithOutputs(o); err != nil {
+			fmt.Fprintln(os.Stderr, "tsnsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -155,17 +191,38 @@ func runWithOutputs(o runOpts) error {
 	}
 	if o.serve != "" {
 		fmt.Printf("telemetry: holding final state on %s — interrupt to exit\n", o.serve)
-		serveHold()
+		if err := serveHold(net.Server); err != nil {
+			// The drain timed out on a stuck client; the server is down
+			// regardless, and a held -serve that was interrupted still
+			// exits 0 — the simulation itself succeeded.
+			fmt.Printf("telemetry: drain timed out, connections force-closed (%v)\n", err)
+		}
 	}
 	return nil
 }
 
-// serveHold blocks the -serve run after the simulation finishes so the
-// final telemetry state stays queryable; tests swap it out.
-var serveHold = func() {
+// serveSignals returns the channel the -serve hold blocks on
+// (SIGINT/SIGTERM); tests swap it for a channel they control.
+var serveSignals = func() <-chan os.Signal {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
+	return ch
+}
+
+// serveDrainTimeout bounds how long the -serve exit path waits for
+// in-flight requests to finish before force-closing their connections.
+const serveDrainTimeout = 5 * time.Second
+
+// serveHold blocks the -serve run after the simulation finishes so the
+// final telemetry state stays queryable, then shuts the server down
+// gracefully on the first interrupt: the listener closes, streaming
+// endpoints terminate, and in-flight requests drain within
+// serveDrainTimeout. Tests swap it out.
+var serveHold = func(srv *obs.Server) error {
+	<-serveSignals()
+	ctx, cancel := context.WithTimeout(context.Background(), serveDrainTimeout)
+	defer cancel()
+	return srv.Shutdown(ctx)
 }
 
 // writeMetrics dumps the registry to path ("-" = stdout) in Prometheus
@@ -326,78 +383,18 @@ func writeCSV(net *testbed.Net, path string) error {
 }
 
 func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
-	var topo *topology.Topology
-	switch o.topo {
-	case "star":
-		topo = topology.Star(o.switches - 1)
-	case "ring":
-		topo = topology.Ring(o.switches)
-	case "bidir-ring":
-		topo = topology.RingBidir(o.switches)
-	case "linear":
-		topo = topology.Linear(o.switches)
-	case "tree":
-		topo = topology.Tree(2, (o.switches-3)/2)
-	default:
-		return nil, fmt.Errorf("unknown topology %q", o.topo)
-	}
-	n := topo.N
-	for h := 0; h < n; h++ {
-		topo.AttachHost(100+h, h)
-		topo.AttachHost(200+h, h)
-	}
-
-	specs := flows.GenerateTS(flows.TSParams{
-		Count:    o.flows,
-		Period:   10 * sim.Millisecond,
-		WireSize: o.size,
-		VID:      1,
-		Hosts: func(i int) (int, int) {
-			src := i % n
-			return 100 + src, 100 + (src+o.hops-1)%n
-		},
+	wl, err := workload.Build(workload.Params{
+		Topology: o.topo, Switches: o.switches,
+		TSFlows: o.flows, Hops: o.hops, WireSize: o.size,
+		SlotUs: o.slotUs, RCMbps: o.rcMbps, BEMbps: o.beMbps,
+		FRERFlows: o.frer, TSDeadline: sim.Time(o.tsDeadline),
 		Seed: o.seed,
 	})
-	for i, s := range specs {
-		s.VID = uint16(1 + i%4000)
-	}
-	id := uint32(100_000)
-	for srcIdx := 0; srcIdx < 3 && srcIdx < n; srcIdx++ {
-		if o.rcMbps > 0 {
-			specs = append(specs, flows.Background(id, ethernet.ClassRC,
-				200+srcIdx, 100+(srcIdx+o.hops-1)%n, uint16(3000+srcIdx),
-				ethernet.Rate(o.rcMbps)*ethernet.Mbps))
-			id++
-		}
-		if o.beMbps > 0 {
-			specs = append(specs, flows.Background(id, ethernet.ClassBE,
-				200+srcIdx, 100+(srcIdx+o.hops-1)%n, uint16(3200+srcIdx),
-				ethernet.Rate(o.beMbps)*ethernet.Mbps))
-			id++
-		}
-	}
-	if err := core.BindPaths(topo, specs); err != nil {
-		return nil, err
-	}
-	der, err := core.DeriveConfig(core.Scenario{
-		Topo: topo, Flows: specs,
-		SlotSize: sim.Time(o.slotUs) * sim.Microsecond,
-	})
 	if err != nil {
 		return nil, err
 	}
-	der.Plan.Apply(specs)
-	if o.tsDeadline > 0 {
-		for _, s := range specs {
-			if s.Class == ethernet.ClassTS {
-				s.Deadline = sim.Time(o.tsDeadline)
-			}
-		}
-	}
-	design, err := core.BuilderFor(der.Config, nil).Build()
-	if err != nil {
-		return nil, err
-	}
+	topo, specs, der, design := wl.Topo, wl.Specs, wl.Der, wl.Design
+	n := topo.N
 	var scenario *faults.Scenario
 	if o.faults != "" {
 		if scenario, err = faults.Load(o.faults); err != nil {
@@ -416,12 +413,16 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 	net, err := testbed.Build(testbed.Options{
 		Design: design, Topo: topo, Flows: specs,
 		EnableGPTP: o.gptp, Seed: o.seed, Pcap: pcapOut,
-		EnableTrace: o.hotspots || o.traceJSON != "",
-		Metrics:     reg,
-		Faults:      scenario,
+		EnableTrace:    o.hotspots || o.traceJSON != "",
+		Metrics:        reg,
+		Faults:         scenario,
+		EnableWatchdog: o.watchdog,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if o.retries > 0 {
+		net.Reconfig.SetRetryPolicy(o.retries, sim.Time(o.backoff))
 	}
 	reportReconfig := func() {}
 	if rspec != nil {

@@ -4,9 +4,13 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 )
 
 // TestServeWithForcedMisses drives a run whose TS deadline is forced to
@@ -54,14 +58,84 @@ func TestServeEndpointsDuringHold(t *testing.T) {
 	probed := make(chan error, 1)
 	oldHold := serveHold
 	defer func() { serveHold = oldHold }()
-	serveHold = func() {
+	serveHold = func(*obs.Server) error {
 		probed <- probeServe("http://" + o.serve)
+		return nil
 	}
 	if err := runWithOutputs(o); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-probed; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestServeGracefulShutdownOnSignal drives the real serveHold path: a
+// run holds with the telemetry server live, an NDJSON /events stream
+// is in flight, and one SIGTERM drains everything — the stream ends
+// cleanly, runWithOutputs returns nil (exit 0), and the listener stops
+// accepting new connections.
+func TestServeGracefulShutdownOnSignal(t *testing.T) {
+	o := baseOpts()
+	o.serve = "127.0.0.1:18463"
+
+	sig := make(chan os.Signal, 1)
+	oldSignals := serveSignals
+	defer func() { serveSignals = oldSignals }()
+	serveSignals = func() <-chan os.Signal { return sig }
+
+	done := make(chan error, 1)
+	go func() { done <- runWithOutputs(o) }()
+
+	// Wait for the held server to come up.
+	base := "http://" + o.serve
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("held server never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Attach a streaming request that only ends when the server tells
+	// it to. http.Get returns once the handler has flushed headers, so
+	// the stream is in flight before the signal fires.
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(chan error, 1)
+	go func() {
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		streamed <- cerr
+	}()
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown surfaced an error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("runWithOutputs did not return after SIGTERM")
+	}
+	select {
+	case err := <-streamed:
+		if err != nil {
+			t.Fatalf("in-flight /events stream did not drain cleanly: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("/events stream still open after shutdown returned")
+	}
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatal("listener still accepting connections after drain")
 	}
 }
 

@@ -1,0 +1,138 @@
+// Package chaos is the randomized campaign engine over the testbed: it
+// generates seeded scenarios (topology, flow mix, fault script,
+// mid-run reconfiguration), fans them out across a worker pool under a
+// wall-clock budget, checks a suite of invariant oracles after every
+// run, and delta-debugs any failing scenario down to a minimal
+// replayable repro.
+//
+// Determinism is the spine of the design. A campaign is a pure
+// function of its profile: case i derives its RNG stream from
+// (profile.Seed, i) alone, every case runs in its own sim.Engine with
+// its own metrics registry, and results are collected in case order —
+// so the same profile always yields the same scenarios and the same
+// verdicts regardless of worker count or which runs a budget cut off
+// mid-sweep (a budget only truncates the tail, never reorders it).
+// That is also what makes a shrunk failure trustworthy: the minimal
+// case replays through plain tsnsim flags and fault/reconfig files,
+// byte-for-byte the same workload the campaign ran.
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Case is one fully-specified chaos scenario. Every field is
+// expressible as a tsnsim flag or sidecar file, which is what makes
+// the minimal-repro artifact replayable outside the campaign.
+type Case struct {
+	// Index is the case's position in the campaign; with the campaign
+	// seed it fully determines the scenario.
+	Index int `json:"index"`
+	// Seed is the per-case workload seed (also the fault RNG seed).
+	Seed uint64 `json:"seed"`
+
+	Topology string `json:"topology"`
+	Switches int    `json:"switches"`
+	TSFlows  int    `json:"ts_flows"`
+	Hops     int    `json:"hops"`
+	WireSize int    `json:"wire_size"`
+	SlotUs   int    `json:"slot_us"`
+	RCMbps   int    `json:"rc_mbps"`
+	BEMbps   int    `json:"be_mbps"`
+	// FRERFlows > 0 makes the first n TS flows 802.1CB-redundant
+	// (bidir-ring only).
+	FRERFlows int `json:"frer_flows"`
+	// FRERCovered marks a case whose every TS flow is redundant and
+	// whose fault script only breaks one ring cable (a cable pull downs
+	// both directions, and the disjoint member-stream arcs share no
+	// cable) — the single-point-of-failure class FRER provably masks,
+	// so the zero-loss oracle applies.
+	FRERCovered bool `json:"frer_covered"`
+	// DurMs is the measurement window in milliseconds (no warmup: chaos
+	// cases run with perfect clocks).
+	DurMs int `json:"dur_ms"`
+	// Watchdog enables the invariant watchdog and degradation ladder.
+	Watchdog bool `json:"watchdog"`
+	// RetryMax/RetryBackoffUs configure the reconfiguration engine's
+	// bounded retry of transiently-failed commits.
+	RetryMax       int `json:"retry_max,omitempty"`
+	RetryBackoffUs int `json:"retry_backoff_us,omitempty"`
+
+	// Faults is the fault script, in faults.Scenario form.
+	Faults []faults.Fault `json:"faults,omitempty"`
+	// Reconfig, when set, applies a mid-run live reconfiguration.
+	Reconfig *Delta `json:"reconfig,omitempty"`
+}
+
+// Delta is a mid-run reconfiguration request: the begin instant plus
+// absolute new values for the resizable resources (zero = keep live
+// value). Field names match tsnsim's -reconfig JSON so a case's delta
+// serializes directly into a replay file.
+type Delta struct {
+	AtUs        int64 `json:"at_us"`
+	UnicastSize int   `json:"unicast_size,omitempty"`
+	ClassSize   int   `json:"class_size,omitempty"`
+	MeterSize   int   `json:"meter_size,omitempty"`
+	QueueDepth  int   `json:"queue_depth,omitempty"`
+	BufferNum   int   `json:"buffer_num,omitempty"`
+}
+
+// Candidate overlays the delta's non-zero fields on the live config.
+func (d *Delta) Candidate(cfg core.Config) core.Config {
+	if d.UnicastSize > 0 {
+		cfg.UnicastSize = d.UnicastSize
+	}
+	if d.ClassSize > 0 {
+		cfg.ClassSize = d.ClassSize
+	}
+	if d.MeterSize > 0 {
+		cfg.MeterSize = d.MeterSize
+	}
+	if d.QueueDepth > 0 {
+		cfg.QueueDepth = d.QueueDepth
+	}
+	if d.BufferNum > 0 {
+		cfg.BufferNum = d.BufferNum
+	}
+	return cfg
+}
+
+// empty reports a delta that changes nothing.
+func (d *Delta) empty() bool {
+	return d.UnicastSize == 0 && d.ClassSize == 0 && d.MeterSize == 0 &&
+		d.QueueDepth == 0 && d.BufferNum == 0
+}
+
+// Violation is one oracle failure on one case.
+type Violation struct {
+	// Oracle names the invariant that failed (see oracle.go).
+	Oracle string `json:"oracle"`
+	// Detail is the human-readable evidence.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Oracle, v.Detail) }
+
+// Result is one executed case's verdict.
+type Result struct {
+	Case       Case        `json:"case"`
+	Violations []Violation `json:"violations,omitempty"`
+	// MetricsJSON is the run's full telemetry snapshot, byte-comparable
+	// across replays (the determinism oracle's evidence).
+	MetricsJSON []byte `json:"-"`
+	// Events is how many simulation events the run executed.
+	Events uint64 `json:"events"`
+}
+
+// Failed reports whether any oracle rejected the run.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// durUs returns the case duration in microseconds.
+func (c *Case) durUs() int64 { return int64(c.DurMs) * 1000 }
+
+// dur returns the case duration as simulated time.
+func (c *Case) dur() sim.Time { return sim.Time(c.DurMs) * sim.Millisecond }

@@ -1,0 +1,309 @@
+package chaos
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// smallProfile keeps campaign tests cheap: tiny networks, short runs.
+func smallProfile() Profile {
+	p := DefaultProfile()
+	p.MaxRuns = 6
+	p.MaxSwitches = 5
+	p.MinTSFlows = 2
+	p.MaxTSFlows = 6
+	p.MinDurMs = 10
+	p.MaxDurMs = 15
+	p.MaxFaults = 3
+	p.RCMaxMbps = 20
+	p.BEMaxMbps = 20
+	p.DeterminismEvery = 3
+	p.Seed = 7
+	return p
+}
+
+func TestProfileValidate(t *testing.T) {
+	def := DefaultProfile()
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Profile){
+		func(p *Profile) { p.MaxRuns = 0 },
+		func(p *Profile) { p.Topologies = nil },
+		func(p *Profile) { p.Topologies = []string{"moebius"} },
+		func(p *Profile) { p.MinSwitches = 1 },
+		func(p *Profile) { p.MaxTSFlows = 0 },
+		func(p *Profile) { p.MinDurMs = 1 },
+		func(p *Profile) { p.WedgeProb = 1.5 },
+		func(p *Profile) { p.RetryMax = -1 },
+	}
+	for i, mutate := range bad {
+		p := DefaultProfile()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := smallProfile()
+	for i := 0; i < 8; i++ {
+		a, err := Generate(p, i)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		b, err := Generate(p, i)
+		if err != nil {
+			t.Fatalf("case %d replay: %v", i, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("case %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+		if err := (&faults.Scenario{Faults: a.Faults}).Validate(); err != nil {
+			t.Fatalf("case %d scenario invalid: %v", i, err)
+		}
+	}
+	// Different indices draw different scenarios.
+	a, _ := Generate(p, 0)
+	b, _ := Generate(p, 1)
+	if reflect.DeepEqual(a.Faults, b.Faults) && a.Topology == b.Topology &&
+		a.TSFlows == b.TSFlows && a.Seed == b.Seed {
+		t.Fatal("cases 0 and 1 identical")
+	}
+}
+
+func TestExecuteCleanCase(t *testing.T) {
+	res, err := Execute(Case{
+		Seed: 3, Topology: "ring", Switches: 4, TSFlows: 4, Hops: 2,
+		WireSize: 64, SlotUs: 65, DurMs: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("clean case violated: %v", res.Violations)
+	}
+	if res.Events == 0 {
+		t.Fatal("no events executed")
+	}
+}
+
+func TestZeroLossOracleHoldsOnCoveredCase(t *testing.T) {
+	a, b := 1, 2
+	res, err := Execute(Case{
+		Seed: 5, Topology: "bidir-ring", Switches: 4, TSFlows: 4, Hops: 2,
+		WireSize: 64, SlotUs: 65, DurMs: 15,
+		FRERFlows: 4, FRERCovered: true,
+		Faults: []faults.Fault{
+			{AtUs: 3000, Kind: faults.KindLinkDown, A: &a, B: &b},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("covered link-down violated: %v", res.Violations)
+	}
+}
+
+// wedgeCase builds the deliberately seeded atomicity bug — a mid-run
+// reconfiguration whose commit wedges between stage and commit with
+// rollback disabled — wrapped in decoy faults the shrinker must strip.
+func wedgeCase(t *testing.T) Case {
+	t.Helper()
+	c := Case{
+		Seed: 11, Topology: "bidir-ring", Switches: 4, TSFlows: 4, Hops: 2,
+		WireSize: 64, SlotUs: 65, DurMs: 15,
+		RetryMax: 2, RetryBackoffUs: 200,
+	}
+	wl, err := workload.Build(workload.Params{
+		Topology: c.Topology, Switches: c.Switches, TSFlows: c.TSFlows,
+		Hops: c.Hops, WireSize: c.WireSize, SlotUs: c.SlotUs, Seed: c.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := wl.Der.Config
+	c.Reconfig = &Delta{
+		AtUs:        5000,
+		UnicastSize: 2 * base.UnicastSize,
+		MeterSize:   2 * base.MeterSize,
+	}
+	op := 1
+	sw2 := 2
+	a01, b01 := 0, 1
+	a12, b12 := 1, 2
+	c.Faults = []faults.Fault{
+		{AtUs: 1000, Kind: faults.KindReconfigWedge, Op: &op},
+		// Decoys: unrelated noise the shrinker should remove.
+		{AtUs: 2000, Kind: faults.KindClockDrift, Switch: &sw2, DriftPPB: 5000},
+		{AtUs: 3000, Kind: faults.KindLinkLoss, A: &a01, B: &b01, Prob: 0.1, DurationUs: 2000},
+		{AtUs: 6000, Kind: faults.KindLinkCorrupt, A: &a12, B: &b12, Prob: 0.1, DurationUs: 2000},
+		{AtUs: 9000, Kind: faults.KindLinkDown, A: &a12, B: &b12},
+	}
+	return c
+}
+
+func TestWedgeCaughtByAtomicityOracle(t *testing.T) {
+	res, err := Execute(wedgeCase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Oracle == OracleAtomicity {
+			found = true
+			if !strings.Contains(v.Detail, "partial") && !strings.Contains(v.Detail, "candidate") &&
+				!strings.Contains(v.Detail, "pre-transaction") {
+				t.Fatalf("atomicity detail uninformative: %q", v.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("wedge not caught; violations: %v", res.Violations)
+	}
+}
+
+func TestShrinkWedgeToMinimalRepro(t *testing.T) {
+	c := wedgeCase(t)
+	res, err := Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed() {
+		t.Fatal("wedge case did not fail")
+	}
+	minimal, viols := Shrink(c, res.Violations, 64)
+	if len(minimal.Faults) > 3 {
+		t.Fatalf("shrunk to %d faults, want ≤ 3: %+v", len(minimal.Faults), minimal.Faults)
+	}
+	if !hasFaultKind(&minimal, faults.KindReconfigWedge) {
+		t.Fatal("shrinker removed the causal wedge fault")
+	}
+	if minimal.Reconfig == nil {
+		t.Fatal("shrinker removed the reconfiguration the wedge needs")
+	}
+	hasAtomicity := false
+	for _, v := range viols {
+		if v.Oracle == OracleAtomicity {
+			hasAtomicity = true
+		}
+	}
+	if !hasAtomicity {
+		t.Fatalf("minimal case lost the atomicity violation: %v", viols)
+	}
+
+	// The minimal repro replays: write the artifact, load it back, and
+	// re-execute the embedded case.
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, "wedge", minimal, viols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repro, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repro.TsnsimArgs) == 0 {
+		t.Fatal("repro has no replay argv")
+	}
+	replay, err := Execute(repro.Case)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reproduced := false
+	for _, v := range replay.Violations {
+		if v.Oracle == OracleAtomicity {
+			reproduced = true
+		}
+	}
+	if !reproduced {
+		t.Fatalf("loaded repro does not reproduce: %v", replay.Violations)
+	}
+	// The fault sidecar is valid tsnsim -faults input.
+	if _, err := os.Stat(filepath.Join(dir, "wedge.faults.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.Load(filepath.Join(dir, "wedge.faults.json")); err != nil {
+		t.Fatalf("fault sidecar does not parse: %v", err)
+	}
+}
+
+func TestCampaignFixedSeedReproducible(t *testing.T) {
+	run := func() *Summary {
+		sum, err := RunCampaign(Options{Profile: smallProfile(), Parallel: 4, ShrinkRuns: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("campaign not reproducible:\n%s\n%s", aj, bj)
+	}
+	if a.Executed != a.Planned {
+		t.Fatalf("executed %d of %d planned", a.Executed, a.Planned)
+	}
+	if a.DeterminismChecks == 0 {
+		t.Fatal("no determinism checks ran")
+	}
+	if len(a.Errors) > 0 {
+		t.Fatalf("campaign errors: %v", a.Errors)
+	}
+}
+
+func TestCampaignBudgetStopsClaiming(t *testing.T) {
+	sum, err := RunCampaign(Options{
+		Profile: smallProfile(), Parallel: 2, ShrinkRuns: -1,
+		Budget: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Executed != 0 {
+		t.Fatalf("executed %d cases under an expired budget", sum.Executed)
+	}
+}
+
+func TestCampaignCatchesGeneratedWedge(t *testing.T) {
+	p := smallProfile()
+	p.MaxRuns = 8
+	p.Topologies = []string{"bidir-ring"}
+	p.ReconfigProb = 1
+	p.WedgeProb = 1
+	p.TransientProb = 0
+	p.DeterminismEvery = 0
+	sum, err := RunCampaign(Options{Profile: p, Parallel: 4, ShrinkRuns: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Failures) == 0 {
+		t.Fatal("campaign with wedge_prob=1 found no failures")
+	}
+	for _, f := range sum.Failures {
+		hasAtomicity := false
+		for _, v := range f.MinimalViolations {
+			if v.Oracle == OracleAtomicity {
+				hasAtomicity = true
+			}
+		}
+		if !hasAtomicity {
+			t.Fatalf("case %d failure lacks atomicity violation: %v",
+				f.Result.Case.Index, f.MinimalViolations)
+		}
+		if len(f.Minimal.Faults) > 3 {
+			t.Fatalf("case %d shrunk to %d faults", f.Result.Case.Index, len(f.Minimal.Faults))
+		}
+	}
+}

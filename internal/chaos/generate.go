@@ -1,0 +1,289 @@
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// caseSeed derives case i's RNG seed from the campaign seed with a
+// splitmix64-style mix, so adjacent indices get uncorrelated streams
+// and the mapping is stable across releases (it is part of the repro
+// format: a case regenerates from (profile, index) alone).
+func caseSeed(campaign uint64, index int) uint64 {
+	z := campaign + uint64(index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// topoFloor is the minimum switch count each topology builds with.
+func topoFloor(topo string) int {
+	switch topo {
+	case "ring", "bidir-ring":
+		return 3
+	case "tree":
+		return 5
+	default: // star, linear
+		return 2
+	}
+}
+
+// rangeInt draws uniformly from [lo, hi].
+func rangeInt(rng *sim.Rand, lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Intn(hi-lo+1)
+}
+
+// Generate derives case index of the campaign described by p. The
+// same (p, index) always yields the same case; generation draws every
+// random decision from one per-case stream in a fixed order. The
+// returned case has already passed faults.Scenario validation.
+func Generate(p Profile, index int) (Case, error) {
+	rng := sim.NewRand(caseSeed(p.Seed, index))
+	c := Case{
+		Index:    index,
+		Seed:     caseSeed(p.Seed, index) | 1,
+		Topology: p.Topologies[rng.Intn(len(p.Topologies))],
+		WireSize: []int{64, 128, 256, 512}[rng.Intn(4)],
+		SlotUs:   []int{65, 130}[rng.Intn(2)],
+		DurMs:    rangeInt(rng, p.MinDurMs, p.MaxDurMs),
+	}
+	lo := p.MinSwitches
+	if f := topoFloor(c.Topology); lo < f {
+		lo = f
+	}
+	hi := p.MaxSwitches
+	if hi < lo {
+		hi = lo
+	}
+	c.Switches = rangeInt(rng, lo, hi)
+	c.TSFlows = rangeInt(rng, p.MinTSFlows, p.MaxTSFlows)
+	c.Hops = rangeInt(rng, 2, min(p.MaxHops, c.Switches))
+	if p.RCMaxMbps > 0 && rng.Float64() < 0.5 {
+		c.RCMbps = rangeInt(rng, 10, p.RCMaxMbps)
+	}
+	if p.BEMaxMbps > 0 && rng.Float64() < 0.5 {
+		c.BEMbps = rangeInt(rng, 10, p.BEMaxMbps)
+	}
+	c.Watchdog = rng.Float64() < p.WatchdogProb
+
+	if c.Topology == "bidir-ring" && rng.Float64() < p.FRERProb {
+		if rng.Float64() < 0.5 {
+			// Covered case: every TS flow redundant, faults restricted
+			// below to one-directional ring-trunk failures.
+			if c.TSFlows > workload.MaxFRERFlows {
+				c.TSFlows = workload.MaxFRERFlows
+			}
+			c.FRERFlows = c.TSFlows
+			c.FRERCovered = true
+		} else {
+			c.FRERFlows = rangeInt(rng, 1, min(c.TSFlows, workload.MaxFRERFlows))
+		}
+	}
+
+	// Build the workload once at generation time: it proves the case
+	// constructs, and supplies the base configuration the reconfig
+	// delta doubles from.
+	wl, err := workload.Build(workload.Params{
+		Topology: c.Topology, Switches: c.Switches, TSFlows: c.TSFlows,
+		Hops: c.Hops, WireSize: c.WireSize, SlotUs: c.SlotUs,
+		RCMbps: c.RCMbps, BEMbps: c.BEMbps, FRERFlows: c.FRERFlows,
+		Seed: c.Seed,
+	})
+	if err != nil {
+		return Case{}, fmt.Errorf("chaos: case %d does not build: %w", index, err)
+	}
+
+	if rng.Float64() < p.ReconfigProb {
+		base := wl.Der.Config
+		d := &Delta{AtUs: rangeInt64(rng, c.durUs()/4, c.durUs()/2)}
+		// Grow one to three resizable resources to double their derived
+		// size. Growth is always valid (shrink could collide with live
+		// occupancy and get rejected, which would not exercise commit).
+		for _, grow := range rng.Perm(5)[:1+rng.Intn(3)] {
+			switch grow {
+			case 0:
+				d.UnicastSize = 2 * base.UnicastSize
+			case 1:
+				d.ClassSize = 2 * base.ClassSize
+			case 2:
+				d.MeterSize = 2 * base.MeterSize
+			case 3:
+				d.QueueDepth = 2 * base.QueueDepth
+			case 4:
+				d.BufferNum = 2 * base.BufferNum
+			}
+		}
+		c.Reconfig = d
+		c.RetryMax = p.RetryMax
+		c.RetryBackoffUs = p.RetryBackoffUs
+		armAt := d.AtUs / 2
+		if armAt < 1 {
+			armAt = 1
+		}
+		if rng.Float64() < p.TransientProb && c.RetryMax > 0 {
+			op := rng.Intn(4)
+			count := rangeInt(rng, 1, c.RetryMax)
+			c.Faults = append(c.Faults, faults.Fault{
+				AtUs: armAt, Kind: faults.KindReconfigTransient, Op: &op, Count: count,
+			})
+		}
+		if rng.Float64() < p.WedgeProb {
+			op := rng.Intn(3)
+			c.Faults = append(c.Faults, faults.Fault{
+				AtUs: armAt, Kind: faults.KindReconfigWedge, Op: &op,
+			})
+		}
+	}
+
+	// Directed trunk selectors: every orientation the topology can
+	// actually address (rings are one-way, linear links go both ways).
+	trunks := make([][2]int, 0, 16)
+	for _, l := range wl.Topo.TrunkLinks() {
+		if _, ok := wl.Topo.PortToward(l.A.Switch, l.B.Switch); ok {
+			trunks = append(trunks, [2]int{l.A.Switch, l.B.Switch})
+		}
+		if _, ok := wl.Topo.PortToward(l.B.Switch, l.A.Switch); ok {
+			trunks = append(trunks, [2]int{l.B.Switch, l.A.Switch})
+		}
+	}
+	c.Faults = append(c.Faults, randomFaults(rng, &c, wl.Topo.N, trunks, p.MaxFaults)...)
+	if err := (&faults.Scenario{Faults: c.Faults}).Validate(); err != nil {
+		return Case{}, fmt.Errorf("chaos: case %d generated an invalid scenario: %w", index, err)
+	}
+	return c, nil
+}
+
+// rangeInt64 draws uniformly from [lo, hi].
+func rangeInt64(rng *sim.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + rng.Int63n(hi-lo+1)
+}
+
+// randomFaults draws up to maxFaults faults for c. Each candidate is
+// validated against the script built so far and silently dropped when
+// it duplicates an earlier fault's kind/target/window — the generator
+// never emits a scenario the S2 duplicate check would reject.
+func randomFaults(rng *sim.Rand, c *Case, n int, trunks [][2]int, maxFaults int) []faults.Fault {
+	var out []faults.Fault
+	tryAdd := func(f faults.Fault) bool {
+		script := append(append([]faults.Fault{}, c.Faults...), out...)
+		script = append(script, f)
+		if err := (&faults.Scenario{Faults: script}).Validate(); err != nil {
+			return false
+		}
+		out = append(out, f)
+		return true
+	}
+	// Fault instants stay inside the run with a margin at both ends so
+	// activation and (usually) recovery land while traffic flows.
+	at := func() int64 { return rangeInt64(rng, 1000, maxInt64(1001, c.durUs()-5000)) }
+	dur := func() int64 { return rangeInt64(rng, 500, 5000) }
+
+	budget := rng.Intn(maxFaults + 1)
+	// Covered cases confine every fault to ONE ring cable, drawn once:
+	// a cable pull severs both directions (netdev.SetLink), so faults
+	// across two cables could cut both member-stream arcs — FRER's
+	// zero-loss guarantee only covers a single point of failure.
+	coveredA := rng.Intn(n)
+	coveredB := (coveredA + 1) % n
+	for len(out) < budget {
+		var f faults.Fault
+		if c.FRERCovered {
+			a, b := coveredA, coveredB
+			f = faults.Fault{AtUs: at(), A: &a, B: &b}
+			if rng.Float64() < 0.5 {
+				f.Kind = faults.KindLinkDown
+			} else {
+				f.Kind = faults.KindLinkFlap
+				f.PeriodUs = 2 * dur()
+				f.Count = 1 + rng.Intn(3)
+			}
+		} else {
+			f = randomFault(rng, n, trunks, at, dur)
+		}
+		if !tryAdd(f) {
+			// A collision consumes budget instead of retrying: keeps
+			// generation O(maxFaults) and deterministic.
+			budget--
+			continue
+		}
+		// Pair half the link-down faults with a later recovery.
+		if f.Kind == faults.KindLinkDown && rng.Float64() < 0.5 && len(out) < budget {
+			up := f
+			up.Kind = faults.KindLinkUp
+			up.AtUs = rangeInt64(rng, f.AtUs+500, f.AtUs+8000)
+			tryAdd(up)
+		}
+	}
+	return out
+}
+
+// randomFault draws one fault from the full menu. gPTP-dependent kinds
+// (gm-kill, node-kill) are excluded: chaos cases run with perfect
+// clocks. Trunk faults draw from the topology's real trunk list (with
+// random orientation), and port-scoped faults hit port 0, which exists
+// on every switch in every topology.
+func randomFault(rng *sim.Rand, n int, trunks [][2]int, at, dur func() int64) faults.Fault {
+	sw := rng.Intn(n)
+	port := 0
+	host := 100 + 100*rng.Intn(2) + rng.Intn(n)
+	t := trunks[rng.Intn(len(trunks))]
+	a, b := t[0], t[1]
+	f := faults.Fault{AtUs: at()}
+	switch rng.Intn(9) {
+	case 0:
+		f.Kind = faults.KindLinkDown
+		f.A, f.B = &a, &b
+	case 1:
+		f.Kind = faults.KindLinkDown
+		f.Host = &host
+	case 2:
+		f.Kind = faults.KindLinkFlap
+		f.A, f.B = &a, &b
+		f.PeriodUs = 2 * dur()
+		f.Count = 1 + rng.Intn(3)
+	case 3:
+		f.Kind = faults.KindLinkLoss
+		f.A, f.B = &a, &b
+		f.Prob = 0.05 + 0.4*rng.Float64()
+		f.DurationUs = dur()
+	case 4:
+		f.Kind = faults.KindLinkCorrupt
+		f.A, f.B = &a, &b
+		f.Prob = 0.05 + 0.4*rng.Float64()
+		f.DurationUs = dur()
+	case 5:
+		f.Kind = faults.KindClockStep
+		f.Switch = &sw
+		f.StepNs = (1 + rng.Int63n(500_000)) * int64(1-2*rng.Intn(2))
+	case 6:
+		f.Kind = faults.KindClockDrift
+		f.Switch = &sw
+		f.DriftPPB = rng.Int63n(200_000) - 100_000
+	case 7:
+		f.Kind = faults.KindBufferExhaust
+		f.Switch, f.Port = &sw, &port
+		f.Slots = 1 + rng.Intn(8)
+		f.DurationUs = dur()
+	case 8:
+		f.Kind = faults.KindGateClose
+		f.Switch, f.Port = &sw, &port
+		f.DurationUs = dur()
+	}
+	return f
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
+	"github.com/tsnbuilder/tsnbuilder/internal/tsnswitch"
+	"github.com/tsnbuilder/tsnbuilder/testbed"
+)
+
+// Oracle names, as they appear in violations and repro artifacts.
+const (
+	// OracleConservation: every frame the generators sent is either
+	// received or accounted to a recorded drop (link fault, switch
+	// dataplane), and buffer pools drain back to empty unless a
+	// buffer-leak fault was deliberately injected.
+	OracleConservation = "frame-conservation"
+	// OracleZeroLoss: on an FRER-covered case (all TS flows redundant,
+	// faults confined to a single ring cable — FRER's single point of
+	// failure) TS traffic loses nothing.
+	OracleZeroLoss = "ts-frer-zero-loss"
+	// OracleAttribution: each flow's worst-delivery component
+	// decomposition sums exactly to its recorded worst latency.
+	OracleAttribution = "attribution-exact-sum"
+	// OracleLadder: the degradation ladder never skips a rung downward
+	// (shed classes are restored in reverse order: RC before BE) and
+	// never leaves the defined levels — TS is never shed.
+	OracleLadder = "ladder-order"
+	// OracleAtomicity: every reconfiguration resolves commit-or-exact-
+	// rollback — a committed transaction leaves every switch on the
+	// candidate configuration, anything else leaves them exactly on the
+	// pre-transaction configuration.
+	OracleAtomicity = "reconfig-atomicity"
+	// OracleDeterminism: re-running the same case yields a
+	// byte-identical metrics snapshot (checked by the campaign on a
+	// sampled subset).
+	OracleDeterminism = "replay-determinism"
+)
+
+// Oracles lists every invariant oracle the engine can report, in
+// documentation order.
+func Oracles() []string {
+	return []string{OracleConservation, OracleZeroLoss, OracleAttribution,
+		OracleLadder, OracleAtomicity, OracleDeterminism}
+}
+
+// checkOracles applies the post-run oracle suite to one executed case.
+func checkOracles(c *Case, net *testbed.Net, reg *metrics.Registry, txns []*txnRecord) []Violation {
+	var out []Violation
+	add := func(oracle, format string, args ...any) {
+		out = append(out, Violation{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	// Frame conservation. Per-class loss is per-flow sent-vs-accepted,
+	// so each lost unit corresponds to at least one physically dropped
+	// frame; the recorded drops must cover them.
+	var lost uint64
+	for _, cls := range []ethernet.Class{ethernet.ClassTS, ethernet.ClassRC, ethernet.ClassBE} {
+		lost += net.Summary(cls).Lost
+	}
+	st := net.SwitchStats()
+	accounted := reg.SumCounter(faults.MetricLinkDrops) + st.TotalDrops()
+	if lost > accounted {
+		add(OracleConservation, "%d frames lost but only %d drops recorded (link=%d switch=%d)",
+			lost, accounted, reg.SumCounter(faults.MetricLinkDrops), st.TotalDrops())
+	}
+	if !hasFaultKind(c, faults.KindBufferLeak) {
+		if err := net.CheckBufferLeaks(); err != nil {
+			add(OracleConservation, "buffer pools did not drain: %v", err)
+		}
+	}
+
+	// TS zero loss under FRER-covered failures.
+	if c.FRERCovered {
+		if ts := net.Summary(ethernet.ClassTS); ts.Lost > 0 {
+			add(OracleZeroLoss, "covered case lost %d TS frames (sent=%d recv=%d)",
+				ts.Lost, ts.Sent, ts.Received)
+		}
+	}
+
+	// Exact-sum latency attribution.
+	if net.Attr != nil {
+		for _, fl := range net.Attr.Flows() {
+			if fl.Count == 0 {
+				continue
+			}
+			if got := fl.Worst.Total(); got != fl.WorstLat {
+				add(OracleAttribution, "flow %d worst components sum %v != worst latency %v",
+					fl.FlowID, got, fl.WorstLat)
+			}
+		}
+	}
+
+	// Degradation-ladder ordering.
+	if net.Watchdog != nil {
+		for i, tr := range net.Watchdog.Transitions() {
+			if tr.To < tsnswitch.DegradeOff || tr.To > tsnswitch.DegradeShedRC {
+				add(OracleLadder, "transition %d: switch %d moved to undefined level %d",
+					i, tr.Switch, int(tr.To))
+			}
+			if tr.To < tr.From && tr.From-tr.To != 1 {
+				add(OracleLadder, "transition %d: switch %d de-escalated %v→%v, skipping a rung",
+					i, tr.Switch, tr.From, tr.To)
+			}
+		}
+	}
+
+	// Reconfiguration atomicity: commit-or-exact-rollback.
+	live := net.LiveConfig()
+	for i, rec := range txns {
+		switch {
+		case rec.txn == nil && rec.beginErr == nil:
+			// The begin instant fell outside the run; nothing staged.
+			continue
+		case rec.beginErr != nil:
+			// Rejected before staging: the live config must be untouched.
+			if !sameResizable(live, rec.pre) {
+				add(OracleAtomicity, "txn %d rejected (%v) but live config drifted", i, rec.beginErr)
+			}
+		case rec.txn.State() == reconfig.StateCommitted:
+			if !sameResizable(live, rec.cand) {
+				add(OracleAtomicity, "txn %d committed but live config is not the candidate", i)
+			}
+		case rec.txn.State() == reconfig.StateRolledBack:
+			if !sameResizable(live, rec.pre) {
+				add(OracleAtomicity, "txn %d rolled back but live config is not the pre-transaction config", i)
+			}
+		default:
+			// Unresolved at run end (commit boundary or retry beyond the
+			// window): nothing to assert about the outcome.
+			continue
+		}
+	}
+	// Regardless of claimed outcomes, the switches themselves must
+	// match whatever configuration the controller says is in force —
+	// this is what catches a wedged commit that left partial state
+	// while claiming rolled-back.
+	if len(txns) > 0 {
+		if err := net.VerifyLive(); err != nil {
+			add(OracleAtomicity, "%v", err)
+		}
+	}
+	return out
+}
+
+// hasFaultKind reports whether the case's script contains kind.
+func hasFaultKind(c *Case, kind string) bool {
+	for i := range c.Faults {
+		if c.Faults[i].Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// sameResizable compares the reconfigurable resources of two configs —
+// every field a live reconfiguration can change.
+func sameResizable(a, b core.Config) bool {
+	return a.UnicastSize == b.UnicastSize && a.MulticastSize == b.MulticastSize &&
+		a.ClassSize == b.ClassSize && a.MeterSize == b.MeterSize &&
+		a.GateSize == b.GateSize && a.CBSMapSize == b.CBSMapSize &&
+		a.CBSSize == b.CBSSize && a.QueueDepth == b.QueueDepth &&
+		a.BufferNum == b.BufferNum && a.FRERSize == b.FRERSize &&
+		a.FRERHistory == b.FRERHistory && a.SlotSize == b.SlotSize
+}

@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Profile bounds the scenario generator: which topologies and scales
+// to draw from, how hostile the fault scripts get, and how often the
+// expensive cross-checks (replay determinism) run. A profile plus a
+// seed is a complete, reproducible campaign definition.
+type Profile struct {
+	// MaxRuns caps the campaign when no explicit run count is given.
+	MaxRuns int `json:"max_runs"`
+	// Topologies to draw from (subset of star, ring, bidir-ring,
+	// linear, tree).
+	Topologies []string `json:"topologies"`
+	// MinSwitches/MaxSwitches bound the node count (per-topology floors
+	// still apply: rings need 3, trees 5).
+	MinSwitches int `json:"min_switches"`
+	MaxSwitches int `json:"max_switches"`
+	// MinTSFlows/MaxTSFlows bound the TS flow count.
+	MinTSFlows int `json:"min_ts_flows"`
+	MaxTSFlows int `json:"max_ts_flows"`
+	// MaxHops caps each TS flow's path length.
+	MaxHops int `json:"max_hops"`
+	// MinDurMs/MaxDurMs bound the measurement window.
+	MinDurMs int `json:"min_dur_ms"`
+	MaxDurMs int `json:"max_dur_ms"`
+	// MaxFaults caps the fault script length.
+	MaxFaults int `json:"max_faults"`
+	// RCMaxMbps/BEMaxMbps cap the background injector rates (0 allows
+	// none of that class).
+	RCMaxMbps int `json:"rc_max_mbps"`
+	BEMaxMbps int `json:"be_max_mbps"`
+	// FRERProb is the chance a bidir-ring case runs with FRER; half of
+	// those are generated FRER-covered (zero-loss oracle armed).
+	FRERProb float64 `json:"frer_prob"`
+	// ReconfigProb is the chance a case carries a mid-run
+	// reconfiguration delta.
+	ReconfigProb float64 `json:"reconfig_prob"`
+	// WatchdogProb is the chance a case runs the invariant watchdog.
+	WatchdogProb float64 `json:"watchdog_prob"`
+	// TransientProb is the chance a reconfiguring case also injects a
+	// transient mid-commit staging failure (which the retry policy must
+	// absorb).
+	TransientProb float64 `json:"transient_prob"`
+	// WedgeProb is the chance a reconfiguring case injects the wedged
+	// mid-commit failure — the deliberately seeded atomicity bug. Keep
+	// it zero outside oracle self-tests.
+	WedgeProb float64 `json:"wedge_prob"`
+	// DeterminismEvery runs the same-seed replay cross-check on every
+	// n-th case (0 disables).
+	DeterminismEvery int `json:"determinism_every"`
+	// RetryMax/RetryBackoffUs configure the reconfig retry policy for
+	// reconfiguring cases.
+	RetryMax       int `json:"retry_max"`
+	RetryBackoffUs int `json:"retry_backoff_us"`
+	// Seed is the campaign master seed.
+	Seed uint64 `json:"seed"`
+}
+
+// DefaultProfile is the stock campaign: every topology, modest scales
+// (cases must stay cheap enough to run hundreds under a CI budget),
+// full fault menu, reconfig plus transient staging failures, replay
+// cross-check every 8th case.
+func DefaultProfile() Profile {
+	return Profile{
+		MaxRuns:          256,
+		Topologies:       []string{"star", "ring", "bidir-ring", "linear", "tree"},
+		MinSwitches:      3,
+		MaxSwitches:      8,
+		MinTSFlows:       4,
+		MaxTSFlows:       48,
+		MaxHops:          4,
+		MinDurMs:         20,
+		MaxDurMs:         60,
+		MaxFaults:        6,
+		RCMaxMbps:        100,
+		BEMaxMbps:        100,
+		FRERProb:         0.6,
+		ReconfigProb:     0.4,
+		WatchdogProb:     0.5,
+		TransientProb:    0.5,
+		WedgeProb:        0,
+		DeterminismEvery: 8,
+		RetryMax:         3,
+		RetryBackoffUs:   200,
+		Seed:             1,
+	}
+}
+
+// Validate rejects profiles the generator cannot draw from.
+func (p *Profile) Validate() error {
+	if p.MaxRuns < 1 {
+		return fmt.Errorf("chaos: max_runs %d < 1", p.MaxRuns)
+	}
+	if len(p.Topologies) == 0 {
+		return fmt.Errorf("chaos: no topologies")
+	}
+	known := map[string]bool{"star": true, "ring": true, "bidir-ring": true, "linear": true, "tree": true}
+	for _, t := range p.Topologies {
+		if !known[t] {
+			return fmt.Errorf("chaos: unknown topology %q", t)
+		}
+	}
+	if p.MinSwitches < 2 || p.MaxSwitches < p.MinSwitches {
+		return fmt.Errorf("chaos: switch range [%d,%d] invalid", p.MinSwitches, p.MaxSwitches)
+	}
+	if p.MinTSFlows < 1 || p.MaxTSFlows < p.MinTSFlows {
+		return fmt.Errorf("chaos: ts-flow range [%d,%d] invalid", p.MinTSFlows, p.MaxTSFlows)
+	}
+	if p.MaxHops < 2 {
+		return fmt.Errorf("chaos: max_hops %d < 2", p.MaxHops)
+	}
+	if p.MinDurMs < 5 || p.MaxDurMs < p.MinDurMs {
+		return fmt.Errorf("chaos: duration range [%d,%d]ms invalid (min 5ms)", p.MinDurMs, p.MaxDurMs)
+	}
+	if p.MaxFaults < 0 {
+		return fmt.Errorf("chaos: max_faults %d negative", p.MaxFaults)
+	}
+	for name, pr := range map[string]float64{
+		"frer_prob": p.FRERProb, "reconfig_prob": p.ReconfigProb,
+		"watchdog_prob": p.WatchdogProb, "transient_prob": p.TransientProb,
+		"wedge_prob": p.WedgeProb,
+	} {
+		if pr < 0 || pr > 1 {
+			return fmt.Errorf("chaos: %s %v outside [0,1]", name, pr)
+		}
+	}
+	if p.DeterminismEvery < 0 {
+		return fmt.Errorf("chaos: determinism_every %d negative", p.DeterminismEvery)
+	}
+	if p.RetryMax < 0 || p.RetryBackoffUs < 0 {
+		return fmt.Errorf("chaos: retry policy (%d, %dµs) negative", p.RetryMax, p.RetryBackoffUs)
+	}
+	return nil
+}
+
+// LoadProfile parses a profile file strictly: unknown fields are
+// rejected so a typo'd knob cannot silently fall back to a default.
+func LoadProfile(path string) (Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var p Profile
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("chaos profile %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, fmt.Errorf("chaos profile %s: %w", path, err)
+	}
+	return p, nil
+}

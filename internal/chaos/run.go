@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/faults"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+	"github.com/tsnbuilder/tsnbuilder/testbed"
+)
+
+// txnRecord tracks one mid-run reconfiguration for the atomicity
+// oracle: the configuration in force when the transaction began, the
+// candidate it tried to reach, and the transaction itself (nil when
+// the begin instant fell outside the run).
+type txnRecord struct {
+	pre, cand core.Config
+	txn       *reconfig.Txn
+	beginErr  error
+}
+
+// Execute runs one case in a fresh simulation and applies every
+// invariant oracle to the outcome. The returned error means the case
+// could not be constructed or run at all — an infrastructure problem,
+// distinct from a Result with violations, which means the system under
+// test broke an invariant.
+func Execute(c Case) (*Result, error) {
+	wl, err := workload.Build(workload.Params{
+		Topology: c.Topology, Switches: c.Switches, TSFlows: c.TSFlows,
+		Hops: c.Hops, WireSize: c.WireSize, SlotUs: c.SlotUs,
+		RCMbps: c.RCMbps, BEMbps: c.BEMbps, FRERFlows: c.FRERFlows,
+		Seed: c.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: case %d workload: %w", c.Index, err)
+	}
+	var scenario *faults.Scenario
+	if len(c.Faults) > 0 {
+		scenario = &faults.Scenario{Faults: c.Faults}
+		if err := scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: case %d: %w", c.Index, err)
+		}
+	}
+	reg := metrics.New()
+	net, err := testbed.Build(testbed.Options{
+		Design: wl.Design, Topo: wl.Topo, Flows: wl.Specs,
+		Metrics: reg, Seed: c.Seed,
+		Faults:         scenario,
+		EnableWatchdog: c.Watchdog,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: case %d build: %w", c.Index, err)
+	}
+	if c.RetryMax > 0 {
+		net.Reconfig.SetRetryPolicy(c.RetryMax, sim.Time(c.RetryBackoffUs)*sim.Microsecond)
+	}
+	var txns []*txnRecord
+	if c.Reconfig != nil && !c.Reconfig.empty() {
+		rec := &txnRecord{}
+		txns = append(txns, rec)
+		d := c.Reconfig
+		net.Engine.At(sim.Time(d.AtUs)*sim.Microsecond, "chaos:reconfig", func(*sim.Engine) {
+			rec.pre = net.LiveConfig()
+			rec.cand = d.Candidate(rec.pre)
+			rec.txn, rec.beginErr = net.Reconfigure(rec.cand)
+		})
+	}
+	net.Run(0, c.dur())
+
+	res := &Result{Case: c, Events: net.Engine.Executed()}
+	res.Violations = checkOracles(&c, net, reg, txns)
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("chaos: case %d metrics export: %w", c.Index, err)
+	}
+	res.MetricsJSON = buf.Bytes()
+	return res, nil
+}

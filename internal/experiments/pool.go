@@ -27,6 +27,46 @@ import (
 // the identical scratch-and-merge sequence, so serial and parallel
 // exports are byte-identical by construction.
 
+// FanOut runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines, claiming indices atomically in ascending order. When fn
+// returns false no further indices are claimed — work already claimed
+// by other workers still finishes — which is how a wall-clock-budgeted
+// caller (the chaos campaign) stops a sweep midway. fn must be
+// self-contained: it runs concurrently with other indices and must not
+// share unsynchronized mutable state.
+func FanOut(workers, n int, fn func(i int) bool) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if !fn(i) {
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // workers resolves the sweep fan-out width from Params.
 func (p Params) workers() int {
 	if p.Parallel > 0 {
@@ -80,23 +120,10 @@ func sweep[T any](p Params, n int, fn func(i int, rp Params) (T, error)) ([]T, e
 			}
 		}
 	} else {
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for k := 0; k < w; k++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1))
-					if i >= n {
-						return
-					}
-					runOne(i, rowParams(p))
-				}
-			}()
-		}
-		wg.Wait()
+		FanOut(w, n, func(i int) bool {
+			runOne(i, rowParams(p))
+			return true
+		})
 	}
 
 	firstErr := -1

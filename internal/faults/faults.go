@@ -47,6 +47,15 @@ const (
 	KindGateClose     = "gate-close"     // TS gates stuck closed: switch, port, duration_us
 	KindBufferLeak    = "buffer-leak"    // permanent slot loss: switch, port, slots
 	KindReconfigFail  = "reconfig-fail"  // fail next reconfig commit mid-apply: op
+	// KindReconfigTransient fails the next `count` reconfig commit
+	// attempts mid-apply before staged op `op`, then clears — the
+	// transient staging failure the engine's bounded retry absorbs.
+	KindReconfigTransient = "reconfig-transient"
+	// KindReconfigWedge fails the next reconfig commit mid-apply with
+	// the rollback path disabled: applied operations stay in place while
+	// the transaction claims rolled-back. A deliberately seeded
+	// atomicity bug for the chaos oracles.
+	KindReconfigWedge = "reconfig-wedge"
 )
 
 // kinds lists every kind once, in the fixed order used for metric
@@ -57,6 +66,7 @@ var kinds = []string{
 	KindLinkDown, KindLinkUp, KindLinkFlap, KindLinkLoss, KindLinkCorrupt,
 	KindClockStep, KindClockDrift, KindGMKill, KindNodeKill,
 	KindBufferExhaust, KindGateClose, KindBufferLeak, KindReconfigFail,
+	KindReconfigTransient, KindReconfigWedge,
 }
 
 // Metric names.
@@ -148,14 +158,67 @@ func Parse(r io.Reader) (*Scenario, error) {
 	return &sc, nil
 }
 
-// Validate checks every fault's field combination.
+// Validate checks every fault's field combination, then rejects
+// duplicate targeting: two faults of the same kind on the same target
+// with overlapping active windows would silently double-schedule
+// (flaps interleave, impairments clear early), so the scenario is a
+// bug, not a stress test.
 func (sc *Scenario) Validate() error {
 	for i := range sc.Faults {
 		if err := sc.Faults[i].validate(); err != nil {
 			return fmt.Errorf("faults: fault %d: %w", i, err)
 		}
 	}
+	for i := range sc.Faults {
+		for j := 0; j < i; j++ {
+			a, b := &sc.Faults[j], &sc.Faults[i]
+			if a.Kind != b.Kind || a.targetKey() != b.targetKey() {
+				continue
+			}
+			as, ae := a.window()
+			bs, be := b.window()
+			if as < be && bs < ae {
+				return fmt.Errorf("faults: fault %d duplicates fault %d: %s on %s, active windows [%d,%d)µs and [%d,%d)µs overlap",
+					i, j, b.Kind, b.targetKey(), as, ae, bs, be)
+			}
+		}
+	}
 	return nil
+}
+
+// targetKey is the stable label of what a fault acts on, used for
+// duplicate detection. Faults of the same kind collide only when these
+// keys match; a trunk selector is directional (a→b and b→a impair
+// different directions and may coexist).
+func (f *Fault) targetKey() string {
+	switch {
+	case f.A != nil && f.B != nil:
+		return fmt.Sprintf("sw%d-sw%d", *f.A, *f.B)
+	case f.Host != nil:
+		return fmt.Sprintf("host%d", *f.Host)
+	case f.Switch != nil && f.Port != nil:
+		return fmt.Sprintf("sw%d.p%d", *f.Switch, *f.Port)
+	case f.Switch != nil:
+		return fmt.Sprintf("sw%d", *f.Switch)
+	default:
+		return "global"
+	}
+}
+
+// window returns the fault's active interval [start, end) in µs.
+// Durational kinds span their duration, flaps span all cycles, and
+// point kinds occupy a single instant — two point faults duplicate
+// each other only at the exact same at_us.
+func (f *Fault) window() (start, end int64) {
+	start = f.AtUs
+	switch f.Kind {
+	case KindLinkFlap:
+		return start, start + f.PeriodUs*int64(f.Count)
+	case KindLinkLoss, KindLinkCorrupt, KindBufferExhaust, KindGateClose:
+		return start, start + f.DurationUs
+	default:
+		return start, start + 1
+	}
 }
 
 // allowedFields whitelists, per kind, the selector/parameter fields a
@@ -163,19 +226,21 @@ func (sc *Scenario) Validate() error {
 // descriptive error: a misplaced "prob" on a link-down fault is a
 // scenario bug, not something to silently ignore.
 var allowedFields = map[string]map[string]bool{
-	KindLinkDown:      {"a": true, "b": true, "host": true},
-	KindLinkUp:        {"a": true, "b": true, "host": true},
-	KindLinkFlap:      {"a": true, "b": true, "host": true, "period_us": true, "count": true},
-	KindLinkLoss:      {"a": true, "b": true, "host": true, "prob": true, "duration_us": true},
-	KindLinkCorrupt:   {"a": true, "b": true, "host": true, "prob": true, "duration_us": true},
-	KindClockStep:     {"switch": true, "step_ns": true},
-	KindClockDrift:    {"switch": true, "drift_ppb": true},
-	KindGMKill:        {},
-	KindNodeKill:      {"switch": true},
-	KindBufferExhaust: {"switch": true, "port": true, "slots": true, "duration_us": true},
-	KindGateClose:     {"switch": true, "port": true, "duration_us": true},
-	KindBufferLeak:    {"switch": true, "port": true, "slots": true},
-	KindReconfigFail:  {"op": true},
+	KindLinkDown:          {"a": true, "b": true, "host": true},
+	KindLinkUp:            {"a": true, "b": true, "host": true},
+	KindLinkFlap:          {"a": true, "b": true, "host": true, "period_us": true, "count": true},
+	KindLinkLoss:          {"a": true, "b": true, "host": true, "prob": true, "duration_us": true},
+	KindLinkCorrupt:       {"a": true, "b": true, "host": true, "prob": true, "duration_us": true},
+	KindClockStep:         {"switch": true, "step_ns": true},
+	KindClockDrift:        {"switch": true, "drift_ppb": true},
+	KindGMKill:            {},
+	KindNodeKill:          {"switch": true},
+	KindBufferExhaust:     {"switch": true, "port": true, "slots": true, "duration_us": true},
+	KindGateClose:         {"switch": true, "port": true, "duration_us": true},
+	KindBufferLeak:        {"switch": true, "port": true, "slots": true},
+	KindReconfigFail:      {"op": true},
+	KindReconfigTransient: {"op": true, "count": true},
+	KindReconfigWedge:     {"op": true},
 }
 
 // presentFields lists the optional fields this fault populates, by
@@ -289,6 +354,17 @@ func (f *Fault) validate() error {
 		if f.Op != nil && *f.Op < 0 {
 			return fmt.Errorf("reconfig-fail op %d negative", *f.Op)
 		}
+	case KindReconfigTransient:
+		if f.Op != nil && *f.Op < 0 {
+			return fmt.Errorf("reconfig-transient op %d negative", *f.Op)
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("reconfig-transient count %d negative", f.Count)
+		}
+	case KindReconfigWedge:
+		if f.Op != nil && *f.Op < 0 {
+			return fmt.Errorf("reconfig-wedge op %d negative", *f.Op)
+		}
 	default:
 		return fmt.Errorf("unknown kind %q", f.Kind)
 	}
@@ -312,6 +388,14 @@ type Bindings struct {
 	// reconfiguration commit, right before staged operation op. Nil
 	// makes reconfig-fail a scenario error.
 	ArmReconfigFail func(op int) error
+	// ArmReconfigTransient arms a transient mid-apply failure: the next
+	// `times` commit attempts fail before staged operation op, then the
+	// fault clears. Nil makes reconfig-transient a scenario error.
+	ArmReconfigTransient func(op, times int) error
+	// ArmReconfigWedge arms a one-shot mid-apply failure with the
+	// rollback path disabled. Nil makes reconfig-wedge a scenario
+	// error.
+	ArmReconfigWedge func(op int) error
 }
 
 // Injector schedules a scenario's faults on a simulation engine.
@@ -642,6 +726,42 @@ func (inj *Injector) schedule(f *Fault, at sim.Time, seed uint64, b Bindings) er
 				panic(fmt.Sprintf("faults: reconfig-fail: %v", err))
 			}
 			inj.markInjected(KindReconfigFail)
+		})
+
+	case KindReconfigTransient:
+		if b.ArmReconfigTransient == nil {
+			return fmt.Errorf("reconfig-transient without a reconfiguration controller")
+		}
+		arm := b.ArmReconfigTransient
+		opIdx := 0
+		if f.Op != nil {
+			opIdx = *f.Op
+		}
+		times := f.Count
+		if times < 1 {
+			times = 1
+		}
+		inj.engine.At(at, "fault:reconfig-transient", func(*sim.Engine) {
+			if err := arm(opIdx, times); err != nil {
+				panic(fmt.Sprintf("faults: reconfig-transient: %v", err))
+			}
+			inj.markInjected(KindReconfigTransient)
+		})
+
+	case KindReconfigWedge:
+		if b.ArmReconfigWedge == nil {
+			return fmt.Errorf("reconfig-wedge without a reconfiguration controller")
+		}
+		arm := b.ArmReconfigWedge
+		opIdx := 0
+		if f.Op != nil {
+			opIdx = *f.Op
+		}
+		inj.engine.At(at, "fault:reconfig-wedge", func(*sim.Engine) {
+			if err := arm(opIdx); err != nil {
+				panic(fmt.Sprintf("faults: reconfig-wedge: %v", err))
+			}
+			inj.markInjected(KindReconfigWedge)
 		})
 
 	default:

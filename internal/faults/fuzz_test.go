@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus for FuzzParse: at least one well-formed
+// document per fault kind, plus representative malformed inputs, so
+// coverage-guided mutation starts from every accepting code path.
+var fuzzSeeds = []string{
+	`{"faults": []}`,
+	`{"seed": 42, "faults": [{"at_us": 0, "kind": "link-down", "a": 0, "b": 1}]}`,
+	`{"faults": [{"at_us": 10, "kind": "link-up", "host": 104}]}`,
+	`{"faults": [{"at_us": 0, "kind": "link-flap", "a": 1, "b": 2, "period_us": 200, "count": 4}]}`,
+	`{"faults": [{"at_us": 5, "kind": "link-loss", "a": 0, "b": 1, "prob": 0.25, "duration_us": 1000}]}`,
+	`{"faults": [{"at_us": 5, "kind": "link-corrupt", "host": 201, "prob": 0.01, "duration_us": 500}]}`,
+	`{"faults": [{"at_us": 100, "kind": "clock-step", "switch": 3, "step_ns": -5000}]}`,
+	`{"faults": [{"at_us": 100, "kind": "clock-drift", "switch": 2, "drift_ppb": 150}]}`,
+	`{"faults": [{"at_us": 1000, "kind": "gm-kill"}]}`,
+	`{"faults": [{"at_us": 1000, "kind": "node-kill", "switch": 4}]}`,
+	`{"faults": [{"at_us": 50, "kind": "buffer-exhaust", "switch": 1, "port": 2, "slots": 8, "duration_us": 300}]}`,
+	`{"faults": [{"at_us": 50, "kind": "gate-close", "switch": 0, "port": 1, "duration_us": 200}]}`,
+	`{"faults": [{"at_us": 50, "kind": "buffer-leak", "switch": 1, "port": 0, "slots": 2}]}`,
+	`{"faults": [{"at_us": 5, "kind": "reconfig-fail", "op": 1}]}`,
+	`{"faults": [{"at_us": 5, "kind": "reconfig-transient", "op": 0, "count": 3}]}`,
+	`{"faults": [{"at_us": 5, "kind": "reconfig-wedge", "op": 2}]}`,
+	// Multi-fault document exercising the duplicate-targeting check.
+	`{"faults": [
+		{"at_us": 100, "kind": "link-down", "a": 1, "b": 2},
+		{"at_us": 200, "kind": "link-up", "a": 1, "b": 2}]}`,
+	// Malformed inputs: truncation, type confusion, unknown fields.
+	``,
+	`{`,
+	`null`,
+	`[]`,
+	`{"faults": [{]}`,
+	`{"faults": [{"at_us": "soon", "kind": "gm-kill"}]}`,
+	`{"faults": [{"at_us": 0, "kind": "link-sever"}]}`,
+	`{"faults": [{"at_us": 0, "kind": "gm-kill", "severity": "high"}]}`,
+	`{"faults": [{"at_us": -1, "kind": "gm-kill"}]}`,
+	`{"faults": [{"at_us": 1e99, "kind": "gm-kill"}]}`,
+}
+
+// FuzzParse asserts the scenario parser's safety contract on arbitrary
+// input: it must never panic, and any document it accepts must survive
+// a marshal → re-parse round trip unchanged (the chaos shrinker depends
+// on re-serialized minimal repros meaning the same thing).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		sc, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		sc2, err := Parse(strings.NewReader(string(out)))
+		if err != nil {
+			t.Fatalf("re-parse of marshaled scenario failed: %v\ndoc: %s", err, out)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", sc, sc2)
+		}
+	})
+}

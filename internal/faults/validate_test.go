@@ -139,6 +139,150 @@ func TestValidateErrorPaths(t *testing.T) {
 // TestEveryKindRejectsForeignField sweeps the whole matrix: for each
 // kind, a field from another kind's vocabulary must be rejected with
 // the field named in the error.
+// TestParseReconfigChaosKinds covers the transient and wedge reconfig
+// kinds the chaos engine injects.
+func TestParseReconfigChaosKinds(t *testing.T) {
+	sc, err := Parse(strings.NewReader(`{
+		"faults": [
+			{"at_us": 10, "kind": "reconfig-transient", "op": 1, "count": 3},
+			{"at_us": 20, "kind": "reconfig-wedge", "op": 2},
+			{"at_us": 30, "kind": "reconfig-wedge"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Faults) != 3 {
+		t.Fatalf("parsed %d faults", len(sc.Faults))
+	}
+	if sc.Faults[0].Count != 3 {
+		t.Fatalf("count = %d", sc.Faults[0].Count)
+	}
+	if sc.Faults[1].Op == nil || *sc.Faults[1].Op != 2 {
+		t.Fatal("wedge op 2 not parsed")
+	}
+	for _, bad := range []struct{ json, want string }{
+		{`{"faults": [{"at_us": 0, "kind": "reconfig-transient", "op": -1}]}`, "reconfig-transient op -1 negative"},
+		{`{"faults": [{"at_us": 0, "kind": "reconfig-transient", "count": -2}]}`, "reconfig-transient count -2 negative"},
+		{`{"faults": [{"at_us": 0, "kind": "reconfig-wedge", "op": -3}]}`, "reconfig-wedge op -3 negative"},
+		{`{"faults": [{"at_us": 0, "kind": "reconfig-wedge", "count": 2}]}`, `field "count" is not valid for kind "reconfig-wedge"`},
+	} {
+		_, err := Parse(strings.NewReader(bad.json))
+		if err == nil || !strings.Contains(err.Error(), bad.want) {
+			t.Errorf("error %v does not contain %q", err, bad.want)
+		}
+	}
+}
+
+// TestDuplicateTargeting: two faults of the same kind aimed at the same
+// target with overlapping active windows are a scenario bug — the
+// engine would double-schedule them — so Validate rejects the pair,
+// naming both fault indices.
+func TestDuplicateTargeting(t *testing.T) {
+	reject := []struct {
+		name string
+		json string
+		want string
+	}{
+		{
+			name: "same link-down instant",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-down", "a": 1, "b": 2},
+				{"at_us": 100, "kind": "link-down", "a": 1, "b": 2}]}`,
+			want: "fault 1 duplicates fault 0",
+		},
+		{
+			name: "overlapping loss windows",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-loss", "a": 1, "b": 2, "prob": 0.5, "duration_us": 500},
+				{"at_us": 400, "kind": "link-loss", "a": 1, "b": 2, "prob": 0.1, "duration_us": 50}]}`,
+			want: "fault 1 duplicates fault 0",
+		},
+		{
+			name: "flap cycles overlap a later flap",
+			json: `{"faults": [
+				{"at_us": 0, "kind": "link-flap", "a": 0, "b": 1, "period_us": 100, "count": 5},
+				{"at_us": 450, "kind": "link-flap", "a": 0, "b": 1, "period_us": 100, "count": 2}]}`,
+			want: "fault 1 duplicates fault 0",
+		},
+		{
+			name: "same host link",
+			json: `{"faults": [
+				{"at_us": 10, "kind": "link-down", "host": 104},
+				{"at_us": 10, "kind": "link-down", "host": 104}]}`,
+			want: "on host104",
+		},
+		{
+			name: "same switch port gate window",
+			json: `{"faults": [
+				{"at_us": 0, "kind": "gate-close", "switch": 2, "port": 1, "duration_us": 100},
+				{"at_us": 50, "kind": "gate-close", "switch": 2, "port": 1, "duration_us": 100}]}`,
+			want: "on sw2.p1",
+		},
+		{
+			name: "double-armed reconfig failure",
+			json: `{"faults": [
+				{"at_us": 5, "kind": "reconfig-fail"},
+				{"at_us": 5, "kind": "reconfig-fail", "op": 3}]}`,
+			want: "on global",
+		},
+	}
+	for _, tc := range reject {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("accepted duplicate scenario: %s", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+
+	accept := []struct {
+		name string
+		json string
+	}{
+		{
+			name: "same link, disjoint windows",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-loss", "a": 1, "b": 2, "prob": 0.5, "duration_us": 100},
+				{"at_us": 200, "kind": "link-loss", "a": 1, "b": 2, "prob": 0.1, "duration_us": 100}]}`,
+		},
+		{
+			name: "same instant, different links",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-down", "a": 1, "b": 2},
+				{"at_us": 100, "kind": "link-down", "a": 2, "b": 3}]}`,
+		},
+		{
+			name: "same link, opposite directions",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-down", "a": 1, "b": 2},
+				{"at_us": 100, "kind": "link-down", "a": 2, "b": 1}]}`,
+		},
+		{
+			name: "different kinds share target and window",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-loss", "a": 1, "b": 2, "prob": 0.5, "duration_us": 100},
+				{"at_us": 120, "kind": "link-corrupt", "a": 1, "b": 2, "prob": 0.1, "duration_us": 10}]}`,
+		},
+		{
+			name: "down then up on the same link",
+			json: `{"faults": [
+				{"at_us": 100, "kind": "link-down", "a": 1, "b": 2},
+				{"at_us": 200, "kind": "link-up", "a": 1, "b": 2}]}`,
+		},
+	}
+	for _, tc := range accept {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.json)); err != nil {
+				t.Fatalf("rejected legitimate scenario: %v", err)
+			}
+		})
+	}
+}
+
 func TestEveryKindRejectsForeignField(t *testing.T) {
 	foreign := map[string]string{
 		KindLinkDown:      `"slots": 1`,
@@ -154,6 +298,9 @@ func TestEveryKindRejectsForeignField(t *testing.T) {
 		KindGateClose:     `"slots": 1`,
 		KindBufferLeak:    `"op": 1`,
 		KindReconfigFail:  `"switch": 1`,
+
+		KindReconfigTransient: `"switch": 1`,
+		KindReconfigWedge:     `"slots": 1`,
 	}
 	if len(foreign) != len(kinds) {
 		t.Fatalf("matrix covers %d kinds, package has %d", len(foreign), len(kinds))

@@ -1,8 +1,10 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -61,12 +63,26 @@ type Server struct {
 	attr   *Attribution
 	flight *trace.Flight
 	health *Health
+
+	// httpSrv is built eagerly so Serve (listener goroutine) and
+	// Shutdown (signal handler) never race on its existence.
+	httpSrv *http.Server
+	// closing is closed by Shutdown so streaming handlers (/events)
+	// terminate promptly — net/http's graceful Shutdown waits for
+	// in-flight requests but does not cancel their contexts, and an
+	// NDJSON stream would otherwise hold the drain open forever.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // NewServer wires the endpoint set. Any of attr, flight, health may be
 // nil; the corresponding endpoints degrade gracefully (404/empty).
 func NewServer(attr *Attribution, flight *trace.Flight, health *Health) *Server {
-	s := &Server{mux: http.NewServeMux(), attr: attr, flight: flight, health: health}
+	s := &Server{
+		mux: http.NewServeMux(), attr: attr, flight: flight, health: health,
+		closing: make(chan struct{}),
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
 	s.snap.Store(metrics.Snapshot{})
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
@@ -91,6 +107,26 @@ func (s *Server) Publish(snap metrics.Snapshot) { s.snap.Store(snap) }
 
 // Handler returns the HTTP handler serving every endpoint.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown. It owns the
+// underlying http.Server, so in-flight requests can be drained
+// gracefully; like http.Serve it always returns a non-nil error
+// (http.ErrServerClosed after a clean Shutdown).
+func (s *Server) Serve(ln net.Listener) error { return s.httpSrv.Serve(ln) }
+
+// Shutdown drains the server: the listener closes immediately, idle
+// connections drop, streaming endpoints are told to finish, and
+// in-flight requests get until ctx's deadline to complete. If the
+// deadline expires first, remaining connections are force-closed and
+// the context's error is returned — the server is down either way.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() { close(s.closing) })
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		_ = s.httpSrv.Close()
+		return err
+	}
+	return nil
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.snap.Load().(metrics.Snapshot)
@@ -238,6 +274,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.closing:
 			return
 		case <-ticker.C:
 		}

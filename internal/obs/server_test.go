@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -189,4 +190,60 @@ func TestServerEventStream(t *testing.T) {
 		t.Fatalf("streamed event wrong: %+v", ev)
 	}
 	cancel() // client departs; the handler's poll loop must exit
+}
+
+// TestServeShutdownDrainsStream exercises the owned-server lifecycle
+// on a real listener: a live NDJSON /events stream is in flight when
+// Shutdown fires, the stream must terminate cleanly (the poll loop
+// honors the closing signal, not just client departure), Shutdown must
+// return nil within its deadline, and the listener must stop accepting.
+func TestServeShutdownDrainsStream(t *testing.T) {
+	fl := trace.NewFlight(64)
+	fl.Record(trace.Event{At: 5, Kind: trace.KindIngress, FlowID: 3, Seq: 9})
+	srv := NewServer(nil, fl, nil)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(chan error, 1)
+	go func() {
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		streamed <- cerr
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown failed: %v", err)
+	}
+	select {
+	case err := <-streamed:
+		if err != nil {
+			t.Fatalf("in-flight stream did not drain cleanly: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream still open after Shutdown returned")
+	}
+	select {
+	case err := <-served:
+		if err != http.ErrServerClosed {
+			t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatal("listener still accepting connections after Shutdown")
+	}
 }

@@ -37,6 +37,9 @@ const (
 	// MetricOps counts staged operations by result
 	// {result=applied|reverted}.
 	MetricOps = "tsn_reconfig_ops_total"
+	// MetricRetries counts commit attempts re-scheduled after a
+	// transient staging failure.
+	MetricRetries = "tsn_reconfig_retries_total"
 )
 
 // State is a transaction's lifecycle position.
@@ -99,10 +102,21 @@ type Controller struct {
 	metRolledBack metrics.Counter
 	metApplied    metrics.Counter
 	metReverted   metrics.Counter
+	metRetried    metrics.Counter
 
-	// armed/failOp: one-shot injected failure before staged op failOp.
-	armed  bool
-	failOp int
+	// armed/failOp: injected failure before staged op failOp; armCount
+	// is how many consecutive commit attempts it survives (1 =
+	// one-shot), wedged marks the failure as rollback-disabling.
+	armed    bool
+	failOp   int
+	armCount int
+	wedged   bool
+
+	// retryMax/backoff: bounded retry policy for failed commits. Zero
+	// retryMax (the default) resolves every failure as a rollback
+	// immediately, the pre-retry behavior.
+	retryMax int
+	backoff  sim.Time
 }
 
 // NewController returns a controller scheduling on engine and counting
@@ -117,8 +131,23 @@ func NewController(engine *sim.Engine, reg *metrics.Registry) *Controller {
 		c.metRolledBack = reg.Counter(MetricTxns, metrics.L("outcome", "rolled-back"))
 		c.metApplied = reg.Counter(MetricOps, metrics.L("result", "applied"))
 		c.metReverted = reg.Counter(MetricOps, metrics.L("result", "reverted"))
+		reg.Help(MetricRetries, "reconfiguration commit attempts retried after transient failure")
+		c.metRetried = reg.Counter(MetricRetries)
 	}
 	return c
+}
+
+// SetRetryPolicy bounds the commit retry loop: a failed commit rolls
+// its applied prefix back (each attempt stays atomic within one event)
+// and re-runs up to maxRetries times, backoff apart. Non-positive
+// backoff defaults to one CQF cycle of the outgoing configuration at
+// retry time. maxRetries 0 disables retrying.
+func (c *Controller) SetRetryPolicy(maxRetries int, backoff sim.Time) {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	c.retryMax = maxRetries
+	c.backoff = backoff
 }
 
 // ArmFailure arms a one-shot injected failure: the next commit fails
@@ -126,27 +155,59 @@ func NewController(engine *sim.Engine, reg *metrics.Registry) *Controller {
 // range), exercising the rollback path. Negative indexes fail before
 // the first operation.
 func (c *Controller) ArmFailure(opIndex int) {
+	c.arm(opIndex, 1, false)
+}
+
+// ArmTransient arms a transient injected failure: the next `times`
+// commit attempts fail right before staged operation opIndex, then the
+// fault clears. Paired with SetRetryPolicy it exercises the bounded
+// retry path end to end.
+func (c *Controller) ArmTransient(opIndex, times int) {
+	if times < 1 {
+		times = 1
+	}
+	c.arm(opIndex, times, false)
+}
+
+// ArmWedge arms a one-shot injected failure whose rollback path is
+// disabled: the commit fails mid-apply and the already-applied prefix
+// is NOT reverted, yet the transaction still reports rolled-back. This
+// deliberately violates the commit-or-exact-rollback contract — it
+// exists so the chaos invariant oracles have a real bug to catch.
+func (c *Controller) ArmWedge(opIndex int) {
+	c.arm(opIndex, 1, true)
+}
+
+func (c *Controller) arm(opIndex, times int, wedged bool) {
 	if opIndex < 0 {
 		opIndex = 0
 	}
 	c.armed = true
 	c.failOp = opIndex
+	c.armCount = times
+	c.wedged = wedged
 }
 
-// takeFailure consumes the armed failure for staged op i of n.
-func (c *Controller) takeFailure(i, n int) bool {
+// takeFailure consumes one armed failure for staged op i of n,
+// reporting whether it fires and whether the rollback path is wedged.
+func (c *Controller) takeFailure(i, n int) (fired, wedged bool) {
 	if !c.armed {
-		return false
+		return false, false
 	}
 	fail := c.failOp
 	if fail >= n {
 		fail = n - 1
 	}
 	if i != fail {
-		return false
+		return false, false
 	}
-	c.armed = false
-	return true
+	wedged = c.wedged
+	c.armCount--
+	if c.armCount <= 0 {
+		c.armed = false
+		c.wedged = false
+	}
+	return true, wedged
 }
 
 // Txn is one prepared reconfiguration transaction.
@@ -160,6 +221,7 @@ type Txn struct {
 
 	scheduled bool
 	commitAt  sim.Time
+	attempts  int
 	onResolve []func(*Txn)
 }
 
@@ -394,8 +456,12 @@ func (t *Txn) Ops() []string {
 }
 
 // CommitTime returns the scheduled commit instant (zero until
-// scheduled).
+// scheduled; the latest retry's instant once retries have run).
 func (t *Txn) CommitTime() sim.Time { return t.commitAt }
+
+// Attempts returns how many commit attempts have run (0 before the
+// first; >1 only when a retry policy is set).
+func (t *Txn) Attempts() int { return t.attempts }
 
 // OnResolve registers a callback invoked once, when the transaction
 // commits or rolls back, in registration order.
@@ -433,22 +499,48 @@ func (t *Txn) commitSchedule(at sim.Time) {
 
 // Commit applies every staged operation in order, immediately. On the
 // first failure — real or injected via Controller.ArmFailure — every
-// already-applied operation is reverted in reverse order and the
-// transaction resolves rolled-back with Err set. All operations run
-// within one event, so no frame moves between apply steps.
+// already-applied operation is reverted in reverse order; then, while
+// the controller's retry budget lasts, the whole commit is re-run one
+// backoff later (each attempt stays atomic within its own event), and
+// only a failure past the budget resolves the transaction rolled-back
+// with Err set. A wedged injected failure (Controller.ArmWedge) skips
+// both the rollback and the retries: the applied prefix is left in
+// place while the transaction still claims rolled-back — the seeded
+// atomicity bug the chaos oracles exist to catch. All operations of
+// one attempt run within one event, so no frame moves between apply
+// steps.
 func (t *Txn) Commit() {
 	if t.state != StatePrepared {
 		panic(fmt.Sprintf("reconfig: commit of %s transaction", t.state))
 	}
+	t.attempts++
 	for i, o := range t.ops {
 		var err error
-		if t.c.takeFailure(i, len(t.ops)) {
+		fired, wedged := t.c.takeFailure(i, len(t.ops))
+		if fired {
 			err = fmt.Errorf("reconfig: injected failure before %q", o.name)
 		} else {
 			err = o.apply()
 		}
 		if err != nil {
+			if wedged {
+				t.err = fmt.Errorf("reconfig: commit failed at %q with rollback disabled: %w", o.name, err)
+				t.state = StateRolledBack
+				t.c.metRolledBack.Inc()
+				t.resolve()
+				return
+			}
 			t.rollback(i)
+			if t.attempts <= t.c.retryMax {
+				t.c.metRetried.Inc()
+				backoff := t.c.backoff
+				if backoff <= 0 {
+					backoff = 2 * t.old.SlotSize
+				}
+				t.commitAt = t.c.engine.Now() + backoff
+				t.c.engine.At(t.commitAt, "reconfig:retry", func(*sim.Engine) { t.Commit() })
+				return
+			}
 			t.err = fmt.Errorf("reconfig: commit failed at %q: %w", o.name, err)
 			t.state = StateRolledBack
 			t.c.metRolledBack.Inc()

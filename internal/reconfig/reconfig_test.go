@@ -373,3 +373,134 @@ func TestCommitOfResolvedTxnPanics(t *testing.T) {
 	}()
 	txn.Commit()
 }
+
+func TestTransientFailureRetriesThenCommits(t *testing.T) {
+	h := newHarness(t)
+	h.ctrl.SetRetryPolicy(3, 10*sim.Microsecond)
+	cand := h.cfg
+	cand.UnicastSize = 128 // op 0
+	cand.MeterSize = 32    // op 1
+	txn, err := h.ctrl.Begin(h.cfg, cand, h.bindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next two commit attempts fail before op 1; the third clears.
+	h.ctrl.ArmTransient(1, 2)
+	txn.Commit()
+	if txn.State() != StatePrepared {
+		t.Fatalf("state after first failure = %v, want prepared (retry pending)", txn.State())
+	}
+	h.engine.RunUntil(sim.Millisecond)
+	if txn.State() != StateCommitted || txn.Err() != nil {
+		t.Fatalf("state=%v err=%v, want committed after retries", txn.State(), txn.Err())
+	}
+	if got := txn.Attempts(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := txn.CommitTime(); got != 20*sim.Microsecond {
+		t.Fatalf("commit time = %v, want 20µs (two 10µs backoffs)", got)
+	}
+	if got := h.reg.CounterValue(MetricRetries); got != 2 {
+		t.Fatalf("retries counter = %d, want 2", got)
+	}
+	if got := h.reg.CounterValue(MetricTxns, metrics.L("outcome", "committed")); got != 1 {
+		t.Fatalf("committed counter = %d", got)
+	}
+	// Failed attempts rolled their applied prefix back before retrying,
+	// so the final state is exactly one clean application.
+	if err := h.sw.Filter().Meters.Configure(31, ethernet.Mbps, 1500); err != nil {
+		t.Fatalf("meter 31 after committed grow: %v", err)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	h := newHarness(t)
+	h.ctrl.SetRetryPolicy(1, 10*sim.Microsecond)
+	cand := h.cfg
+	cand.MeterSize = 32
+	txn, err := h.ctrl.Begin(h.cfg, cand, h.bindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the first attempt and its single retry fail.
+	h.ctrl.ArmTransient(0, 5)
+	txn.Commit()
+	h.engine.RunUntil(sim.Millisecond)
+	if txn.State() != StateRolledBack {
+		t.Fatalf("state = %v, want rolled-back after budget", txn.State())
+	}
+	if txn.Err() == nil || !strings.Contains(txn.Err().Error(), "injected failure") {
+		t.Fatalf("err = %v", txn.Err())
+	}
+	if got := txn.Attempts(); got != 2 {
+		t.Fatalf("attempts = %d, want 2 (original + one retry)", got)
+	}
+	if got := h.reg.CounterValue(MetricRetries); got != 1 {
+		t.Fatalf("retries counter = %d, want 1", got)
+	}
+	// The meter table is back at its old size.
+	if err := h.sw.Filter().Meters.Configure(16, ethernet.Mbps, 1500); err == nil {
+		t.Fatal("meter table not restored after exhausted retries")
+	}
+}
+
+func TestRetryDefaultBackoffIsTwoCycles(t *testing.T) {
+	h := newHarness(t)
+	h.ctrl.SetRetryPolicy(1, 0) // zero backoff: default to 2× old slot
+	cand := h.cfg
+	cand.MeterSize = 32
+	txn, err := h.ctrl.Begin(h.cfg, cand, h.bindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctrl.ArmTransient(0, 1)
+	txn.Commit()
+	h.engine.RunUntil(sim.Millisecond)
+	if txn.State() != StateCommitted {
+		t.Fatalf("state = %v", txn.State())
+	}
+	if want := 2 * h.cfg.SlotSize; txn.CommitTime() != want {
+		t.Fatalf("commit time = %v, want %v (2 slot cycles)", txn.CommitTime(), want)
+	}
+}
+
+func TestWedgeSkipsRollbackAndRetry(t *testing.T) {
+	h := newHarness(t)
+	// Even with a generous retry budget, a wedged failure must not
+	// retry: the bug it models dies mid-commit, not transiently.
+	h.ctrl.SetRetryPolicy(5, 10*sim.Microsecond)
+	cand := h.cfg
+	cand.UnicastSize = 128 // op 0
+	cand.MeterSize = 32    // op 1
+	cand.QueueDepth = 16   // op 2
+	txn, err := h.ctrl.Begin(h.cfg, cand, h.bindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctrl.ArmWedge(2)
+	txn.Commit()
+	h.engine.RunUntil(sim.Millisecond)
+	if txn.State() != StateRolledBack {
+		t.Fatalf("state = %v: the wedge must still claim rolled-back", txn.State())
+	}
+	if txn.Err() == nil || !strings.Contains(txn.Err().Error(), "rollback disabled") {
+		t.Fatalf("err = %v", txn.Err())
+	}
+	if got := txn.Attempts(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry for a wedge)", got)
+	}
+	// Ops 0 and 1 stayed applied: the unicast table admits entry 64 and
+	// the meter table admits id 31 — partial state the atomicity oracle
+	// catches by comparing live switch config against the old config.
+	for i := 0; i < 65; i++ {
+		if err := h.sw.Forward().Unicast.Add(ethernet.HostMAC(i), 1, 0); err != nil {
+			t.Fatalf("unicast entry %d after wedge: %v", i, err)
+		}
+	}
+	if err := h.sw.Filter().Meters.Configure(31, ethernet.Mbps, 1500); err != nil {
+		t.Fatalf("meter 31 after wedge: %v", err)
+	}
+	if got := h.sw.Config().QueueDepth; got != h.cfg.QueueDepth {
+		t.Fatalf("queue depth = %d changed by unapplied op", got)
+	}
+}

@@ -58,6 +58,18 @@ func (p Policy) Validate() error {
 	return nil
 }
 
+// Transition records one degradation-level change the policy drove:
+// which switch moved, from which level to which, at which instant. The
+// ladder contract is directional — escalation may jump straight to the
+// pressure's level, but de-escalation steps exactly one rung per audit
+// (ShedRC → ShedBE → Off), so shed classes are restored in reverse
+// order of shedding: RC service returns before BE.
+type Transition struct {
+	Switch   int
+	From, To tsnswitch.DegradeLevel
+	At       sim.Time
+}
+
 // Watchdog periodically audits runtime conservation invariants on the
 // watched switches — buffer leak / double free, queue occupancy within
 // depth, gate schedule monotonicity, FRER table bounds — and drives
@@ -73,9 +85,10 @@ type Watchdog struct {
 	switches []*tsnswitch.Switch
 	frers    []*frer.Table
 
-	audits     uint64
-	violations map[string]uint64
-	lastDetail string
+	audits      uint64
+	violations  map[string]uint64
+	lastDetail  string
+	transitions []Transition
 
 	metAudits metrics.Counter
 	metViol   map[string]metrics.Counter
@@ -180,6 +193,15 @@ func (w *Watchdog) TotalViolations() uint64 {
 // diagnostics.
 func (w *Watchdog) LastDetail() string { return w.lastDetail }
 
+// Transitions returns every degradation-level change driven so far, in
+// audit order — the evidence trail the chaos ladder-ordering oracle
+// checks.
+func (w *Watchdog) Transitions() []Transition {
+	out := make([]Transition, len(w.transitions))
+	copy(out, w.transitions)
+	return out
+}
+
 // note records one violation.
 func (w *Watchdog) note(invariant, detail string) {
 	w.violations[invariant]++
@@ -232,6 +254,10 @@ func (w *Watchdog) Degraded() bool {
 // drivePolicy moves switch i's degradation level along the ladder:
 // escalate when pool pressure crosses a shed threshold, de-escalate
 // only once pressure falls to Recover (hysteresis), hold in between.
+// De-escalation is stepwise — one rung per audit — so a switch that
+// shed BE then RC restores them in reverse order (RC first, BE last),
+// and each restoration gets a full audit interval to prove the
+// pressure stays down before the next class returns.
 func (w *Watchdog) drivePolicy(i int, sw *tsnswitch.Switch) {
 	pressure := sw.PoolPressure()
 	cur := sw.DegradeLevel()
@@ -244,11 +270,16 @@ func (w *Watchdog) drivePolicy(i int, sw *tsnswitch.Switch) {
 			want = tsnswitch.DegradeShedBE
 		}
 	case pressure <= w.policy.Recover:
-		want = tsnswitch.DegradeOff
+		if cur > tsnswitch.DegradeOff {
+			want = cur - 1
+		}
 	}
 	if want != cur {
 		sw.SetDegradeLevel(want)
 		w.metTrans[i].Inc()
+		w.transitions = append(w.transitions, Transition{
+			Switch: sw.ID(), From: cur, To: want, At: w.engine.Now(),
+		})
 	}
 	w.metLevel[i].Set(int64(want))
 }

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"io"
 	stdnet "net"
-	"net/http"
 	"sort"
 	"strconv"
 
@@ -107,7 +106,11 @@ type Net struct {
 	Attr *obs.Attribution
 	// Health is the live health board the telemetry /healthz serves;
 	// the watchdog publishes into it.
-	Health   *obs.Health
+	Health *obs.Health
+	// Server is the live telemetry HTTP server; nil until Serve binds
+	// one. Shut it down with Server.Shutdown to drain in-flight
+	// requests before exit.
+	Server   *obs.Server
 	Capture  *pcap.Writer      // nil unless Options.Pcap set
 	Metrics  *metrics.Registry // nil unless Options.Metrics set
 	Injector *faults.Injector  // nil unless Options.Faults set
@@ -386,6 +389,14 @@ func (n *Net) faultBindings() faults.Bindings {
 		Domain: n.Domain,
 		ArmReconfigFail: func(op int) error {
 			n.Reconfig.ArmFailure(op)
+			return nil
+		},
+		ArmReconfigTransient: func(op, times int) error {
+			n.Reconfig.ArmTransient(op, times)
+			return nil
+		},
+		ArmReconfigWedge: func(op int) error {
+			n.Reconfig.ArmWedge(op)
 			return nil
 		},
 	}
@@ -721,17 +732,18 @@ func (n *Net) NewTelemetryServer() *obs.Server {
 
 // Serve starts the live telemetry HTTP server on addr (e.g. ":9090",
 // or ":0" for an ephemeral port) and returns the server plus the bound
-// address. The listener serves from its own goroutines for the life of
-// the process; snapshots refresh every telemetryPublishInterval of
-// simulated time while the engine runs (call srv.Publish once more
-// after the run for the final state).
+// address. The server (also stored in n.Server) owns its listener
+// goroutine and drains gracefully via srv.Shutdown; snapshots refresh
+// every telemetryPublishInterval of simulated time while the engine
+// runs (call srv.Publish once more after the run for the final state).
 func (n *Net) Serve(addr string) (*obs.Server, string, error) {
 	srv := n.NewTelemetryServer()
 	ln, err := stdnet.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	go func() { _ = srv.Serve(ln) }()
+	n.Server = srv
 	return srv, ln.Addr().String(), nil
 }
 
@@ -739,6 +751,41 @@ func (n *Net) Serve(addr string) (*obs.Server, string, error) {
 // at build time, then the committed candidate after each successful
 // reconfiguration. A rolled-back transaction leaves it unchanged.
 func (n *Net) LiveConfig() core.Config { return n.liveCfg }
+
+// VerifyLive checks that every switch's resizable resources match the
+// configuration the controller believes is in force (LiveConfig). This
+// is the reconfiguration-atomicity postcondition the chaos oracle
+// leans on: after a committed transaction the switches must carry the
+// candidate, after a rollback the pre-transaction configuration, and
+// any mismatch means a commit died partway and left partial state.
+func (n *Net) VerifyLive() error {
+	want := n.liveCfg
+	for s, sw := range n.Switches {
+		got := sw.Config()
+		checks := []struct {
+			field    string
+			got, exp int64
+		}{
+			{"unicast_size", int64(got.UnicastSize), int64(want.UnicastSize)},
+			{"multicast_size", int64(got.MulticastSize), int64(want.MulticastSize)},
+			{"class_size", int64(got.ClassSize), int64(want.ClassSize)},
+			{"meter_size", int64(got.MeterSize), int64(want.MeterSize)},
+			{"gate_size", int64(got.GateSize), int64(want.GateSize)},
+			{"cbs_map_size", int64(got.CBSMapSize), int64(want.CBSMapSize)},
+			{"cbs_size", int64(got.CBSSize), int64(want.CBSSize)},
+			{"queue_depth", int64(got.QueueDepth), int64(want.QueueDepth)},
+			{"buffer_num", int64(got.BuffersPerPort), int64(want.BufferNum)},
+			{"slot_us", int64(got.SlotSize), int64(want.SlotSize)},
+		}
+		for _, c := range checks {
+			if c.got != c.exp {
+				return fmt.Errorf("testbed: switch %d %s = %d, expected %d: partial reconfiguration left in place",
+					s, c.field, c.got, c.exp)
+			}
+		}
+	}
+	return nil
+}
 
 // reconfigBindings connects the reconfiguration engine to the live
 // resources it validates against and operates on.
