@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short race vet lint bench bench-json fuzz chaos examples reproduce clean
+.PHONY: all build test short race vet lint bench bench-json bench-compare fuzz chaos examples reproduce clean
 
 all: build vet test
 
@@ -19,8 +19,8 @@ race:
 vet:
 	go vet ./...
 
-# lint = vet + gofmt, plus staticcheck when it is on PATH (CI installs
-# it; local runs degrade gracefully without network access).
+# lint = vet + gofmt, plus staticcheck/govulncheck when on PATH (CI
+# installs them; local runs degrade gracefully without network access).
 lint: vet
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
@@ -28,6 +28,11 @@ lint: vet
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
 	fi
 
 bench:
@@ -37,6 +42,14 @@ bench:
 # regression tracking; -short keeps it at test scale.
 bench-json:
 	go test -bench=. -benchmem -short . | go run ./cmd/benchjson -o BENCH_$$(date +%Y%m%d).json
+
+# bench-compare gates the current bench run against the committed
+# baseline: >20% ns/op slowdown fails, as does any allocs/op increase
+# on zero-alloc benchmarks (>0.1% on allocation-heavy ones).
+BENCH_BASELINE ?= BENCH_20260808.json
+bench-compare:
+	go test -bench=. -benchmem -short . | go run ./cmd/benchjson -o /tmp/bench_current.json
+	go run ./cmd/benchjson -compare $(BENCH_BASELINE) /tmp/bench_current.json
 
 fuzz:
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/ethernet/

@@ -1,0 +1,467 @@
+package chaos
+
+// Service campaign: chaos for the TSN-as-a-Service control plane.
+//
+// Where RunCampaign builds an isolated simulated network per case, the
+// service campaign attacks one LIVE svc.Service through its public HTTP
+// API with many concurrent clients: derivation stampedes on shared
+// specs, cache-coherence probes that race fresh recomputation against
+// cached bodies, reconfiguration transactions with transient and
+// wedged mid-commit faults armed underneath them, slow clients that
+// squat on admission slots, and unique-spec bursts that push the
+// admission queue into shedding.
+//
+// Two service-level oracles judge the run:
+//
+//   - accepted-then-lost: every 2xx POST /v1/reconfig the clients ever
+//     saw must appear in the instance's committed journal with the
+//     exact configuration it acknowledged, journal sequence numbers
+//     must be gapless, and the final live configuration must equal the
+//     journal tail — an accepted transaction can never silently vanish.
+//   - cache coherence: a cached derivation body and a freshly
+//     recomputed one for the same spec must be byte-identical.
+//
+// The drive plan is a pure function of (Seed, request index), so a
+// fixed seed replays the same request mix; only the interleaving varies
+// and both oracles are interleaving-independent by construction.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/experiments"
+	"github.com/tsnbuilder/tsnbuilder/internal/svc"
+)
+
+// Service-level oracle names.
+const (
+	// OracleAcceptedLost rejects a run where a 2xx-acknowledged
+	// reconfiguration is missing from the journal, acknowledged with a
+	// different configuration than committed, or no longer reflected by
+	// the final live configuration.
+	OracleAcceptedLost = "svc-accepted-then-lost"
+	// OracleCacheCoherence rejects a run where a cached derivation and a
+	// fresh recomputation of the same spec differ.
+	OracleCacheCoherence = "svc-cache-coherence"
+	// OracleQueueBounded rejects a run where an admission queue's depth
+	// high-water mark exceeded its configured bound.
+	OracleQueueBounded = "svc-queue-bounded"
+)
+
+// ServiceOptions configures one service campaign.
+type ServiceOptions struct {
+	// Seed fixes the drive plan (request mix, specs, deltas, faults).
+	Seed uint64
+	// Clients is the concurrent driver count (default 8).
+	Clients int
+	// Requests is the total scripted request count (default 200).
+	Requests int
+	// Budget bounds the campaign's wall clock; zero means unbudgeted.
+	// Like the simulation campaign, it stops new requests from being
+	// claimed — requests in flight finish, so verdicts never tear.
+	Budget time.Duration
+	// Service overrides the service construction; the zero value gets
+	// deliberately small queues so overload shedding is reachable.
+	Service svc.Options
+	// Log, when set, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// ServiceSummary is a finished service campaign's outcome.
+type ServiceSummary struct {
+	Planned  int `json:"planned"`
+	Executed int `json:"executed"`
+	// ByStatus counts responses per HTTP status code.
+	ByStatus map[int]int64 `json:"by_status"`
+	// Accepted is how many reconfigurations were acknowledged with 2xx.
+	Accepted int `json:"accepted"`
+	// CoherenceProbes counts cached-vs-fresh byte comparisons run.
+	CoherenceProbes int `json:"coherence_probes"`
+	// FaultsArmed counts transient/wedge faults injected mid-campaign.
+	FaultsArmed int `json:"faults_armed"`
+	// Violations holds every oracle failure.
+	Violations []Violation `json:"violations,omitempty"`
+	// Errors holds infrastructure failures (transport errors etc.).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Failed reports whether any oracle rejected the run or the drive
+// itself broke.
+func (s *ServiceSummary) Failed() bool { return len(s.Violations) > 0 || len(s.Errors) > 0 }
+
+// acceptedTxn is one client-side 2xx reconfiguration acknowledgment.
+type acceptedTxn struct {
+	seq    uint64
+	config svc.ConfigJSON
+}
+
+// svcDriver is the shared mutable state of one campaign run.
+type svcDriver struct {
+	base   string
+	client *http.Client
+
+	mu         sync.Mutex
+	byStatus   map[int]int64
+	accepted   []acceptedTxn
+	violations []Violation
+	errors     []string
+	probes     int
+	faults     int
+	executed   int
+}
+
+func (d *svcDriver) record(status int) {
+	d.mu.Lock()
+	d.byStatus[status]++
+	d.executed++
+	d.mu.Unlock()
+}
+
+func (d *svcDriver) violate(oracle, format string, args ...any) {
+	d.mu.Lock()
+	d.violations = append(d.violations, Violation{Oracle: oracle, Detail: fmt.Sprintf(format, args...)})
+	d.mu.Unlock()
+}
+
+func (d *svcDriver) errf(format string, args ...any) {
+	d.mu.Lock()
+	d.errors = append(d.errors, fmt.Sprintf(format, args...))
+	d.mu.Unlock()
+}
+
+// specPool is the shared spec set the stampede leans on: few distinct
+// specs across many concurrent clients maximizes singleflight pressure.
+func specPool(seed uint64) []string {
+	specs := make([]string, 4)
+	for i := range specs {
+		specs[i] = fmt.Sprintf(`{"topology":"linear","switches":%d,"ts_flows":%d,"seed":%d}`,
+			2+i%2, 4+2*i, seed)
+	}
+	return specs
+}
+
+// RunServiceCampaign builds a service, drives it with the scripted
+// concurrent load, applies the service oracles and shuts it down.
+func RunServiceCampaign(opts ServiceOptions) (*ServiceSummary, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 8
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 200
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sopts := opts.Service
+	if sopts.Workload.Topology == "" {
+		sopts.Workload = svc.DefaultWorkload()
+	}
+	if sopts.DeriveQueue == 0 {
+		sopts.DeriveQueue = 8 // small on purpose: shedding must be reachable
+	}
+	if sopts.ReconfigQueue == 0 {
+		sopts.ReconfigQueue = 4
+	}
+	s, err := svc.NewService(sopts)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: service build: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	d := &svcDriver{
+		base:     "http://" + ln.Addr().String(),
+		client:   &http.Client{Timeout: 30 * time.Second},
+		byStatus: make(map[int]int64),
+	}
+	specs := specPool(opts.Seed)
+	initial := svc.ToConfigJSON(s.Instance().LiveConfig())
+
+	ctx := context.Background()
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
+	wedgeAt := opts.Requests / 2 // exactly one wedge, mid-campaign
+	logf("service campaign: %d requests over %d clients against %s", opts.Requests, opts.Clients, d.base)
+	_ = experiments.FanOutCtx(ctx, opts.Clients, opts.Requests, func(i int) bool {
+		rng := rand.New(rand.NewSource(int64(opts.Seed)*1_000_003 + int64(i)))
+		switch {
+		case i == wedgeAt:
+			d.armWedgeThenReconfig(s, initial, rng)
+		case i%11 == 3:
+			d.coherenceProbe(specs[rng.Intn(len(specs))])
+		case i%11 == 6:
+			d.reconfig(initial, rng, true)
+		case i%11 == 8:
+			d.slowDerive(specs[rng.Intn(len(specs))])
+		case i%23 == 9:
+			d.armTransientThenReconfig(s, initial, rng)
+		case i%29 == 11:
+			d.burst(rng)
+		default:
+			d.derive(specs[rng.Intn(len(specs))], false)
+		}
+		return true
+	})
+
+	sum := &ServiceSummary{
+		Planned:         opts.Requests,
+		Executed:        d.executed,
+		ByStatus:        d.byStatus,
+		Accepted:        len(d.accepted),
+		CoherenceProbes: d.probes,
+		FaultsArmed:     d.faults,
+		Violations:      d.violations,
+		Errors:          d.errors,
+	}
+	d.checkAcceptedThenLost(sum, initial)
+	checkQueueBound(sum, "derive", s.Admission().Derive)
+	checkQueueBound(sum, "reconfig", s.Admission().Reconfig)
+	logf("service campaign: %d executed, %d accepted, %d violations",
+		sum.Executed, sum.Accepted, len(sum.Violations))
+	return sum, nil
+}
+
+// derive POSTs a spec and returns the body (nil on any non-200).
+func (d *svcDriver) derive(spec string, fresh bool) []byte {
+	req, err := http.NewRequest(http.MethodPost, d.base+"/v1/derive", strings.NewReader(spec))
+	if err != nil {
+		d.errf("derive request: %v", err)
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if fresh {
+		req.Header.Set("Cache-Control", "no-cache")
+	}
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.errf("derive: %v", err)
+		return nil
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d.record(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	return body
+}
+
+// coherenceProbe compares a cached derivation against a fresh
+// recomputation of the same spec: the cache-coherence oracle.
+func (d *svcDriver) coherenceProbe(spec string) {
+	cached := d.derive(spec, false)
+	fresh := d.derive(spec, true)
+	if cached == nil || fresh == nil {
+		return // shed or deadline — nothing to compare
+	}
+	d.mu.Lock()
+	d.probes++
+	d.mu.Unlock()
+	if !bytes.Equal(cached, fresh) {
+		d.violate(OracleCacheCoherence,
+			"cached body (%d bytes) != fresh body (%d bytes) for spec %s",
+			len(cached), len(fresh), spec)
+	}
+}
+
+// slowDerive trickles the request body in, squatting on an admission
+// slot while the handler waits for bytes — the slow-client attack.
+func (d *svcDriver) slowDerive(spec string) {
+	pr, pw := io.Pipe()
+	go func() {
+		for _, half := range []string{spec[:len(spec)/2], spec[len(spec)/2:]} {
+			_, _ = io.WriteString(pw, half)
+			time.Sleep(50 * time.Millisecond)
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, d.base+"/v1/derive", pr)
+	if err != nil {
+		d.errf("slow derive request: %v", err)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		d.errf("slow derive: %v", err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	d.record(resp.StatusCode)
+}
+
+// burst fires several unique-spec derivations back to back — all cache
+// misses, aimed at pushing the admission queue into shedding.
+func (d *svcDriver) burst(rng *rand.Rand) {
+	for k := 0; k < 6; k++ {
+		spec := fmt.Sprintf(`{"topology":"ring","switches":%d,"ts_flows":%d,"seed":%d}`,
+			3+rng.Intn(3), 6+rng.Intn(20), rng.Int63())
+		d.derive(spec, false)
+	}
+}
+
+// reconfig POSTs a delta. Grows are always valid; when allowShrink is
+// set the delta occasionally asks for an implausible shrink to exercise
+// the 409 validation path.
+func (d *svcDriver) reconfig(initial svc.ConfigJSON, rng *rand.Rand, allowShrink bool) {
+	var delta svc.ReconfigRequest
+	if allowShrink && rng.Intn(4) == 0 {
+		delta.UnicastSize = 1
+	} else {
+		switch rng.Intn(3) {
+		case 0:
+			delta.UnicastSize = initial.UnicastSize * (2 + rng.Intn(3))
+		case 1:
+			delta.MeterSize = initial.MeterSize * (2 + rng.Intn(3))
+		default:
+			delta.ClassSize = initial.ClassSize * (2 + rng.Intn(3))
+		}
+	}
+	body, _ := json.Marshal(delta)
+	resp, err := d.client.Post(d.base+"/v1/reconfig", "application/json", bytes.NewReader(body))
+	if err != nil {
+		d.errf("reconfig: %v", err)
+		return
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d.record(resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var rr svc.ReconfigResponse
+	if err := json.Unmarshal(rb, &rr); err != nil {
+		d.errf("reconfig 200 with unparseable body: %v", err)
+		return
+	}
+	d.mu.Lock()
+	d.accepted = append(d.accepted, acceptedTxn{seq: rr.Seq, config: rr.Config})
+	d.mu.Unlock()
+}
+
+// armTransientThenReconfig injects a transient mid-commit fault and
+// immediately transacts: the bounded retry should absorb it into a 2xx.
+func (d *svcDriver) armTransientThenReconfig(s *svc.Service, initial svc.ConfigJSON, rng *rand.Rand) {
+	if err := s.Instance().ArmTransient(rng.Intn(2), 1); err != nil {
+		d.errf("arm transient: %v", err)
+		return
+	}
+	d.mu.Lock()
+	d.faults++
+	d.mu.Unlock()
+	d.reconfig(initial, rng, false)
+}
+
+// armWedgeThenReconfig injects the seeded atomicity bug — a commit that
+// dies mid-apply claiming rolled-back — and transacts into it. The
+// response must NOT be 2xx: the post-commit verification catches the
+// partial state and the breaker starts tripping.
+func (d *svcDriver) armWedgeThenReconfig(s *svc.Service, initial svc.ConfigJSON, rng *rand.Rand) {
+	if err := s.Instance().ArmWedge(1); err != nil {
+		d.errf("arm wedge: %v", err)
+		return
+	}
+	d.mu.Lock()
+	d.faults++
+	d.mu.Unlock()
+	d.reconfig(initial, rng, false)
+}
+
+// checkAcceptedThenLost applies the accepted-then-lost oracle: journal
+// and live config fetched over the API after the drive drains.
+func (d *svcDriver) checkAcceptedThenLost(sum *ServiceSummary, initial svc.ConfigJSON) {
+	var journal []svc.JournalEntry
+	if err := d.getJSON("/v1/journal", &journal); err != nil {
+		sum.Errors = append(sum.Errors, fmt.Sprintf("fetch journal: %v", err))
+		return
+	}
+	var live svc.ConfigJSON
+	if err := d.getJSON("/v1/config", &live); err != nil {
+		sum.Errors = append(sum.Errors, fmt.Sprintf("fetch config: %v", err))
+		return
+	}
+	bySeq := make(map[uint64]svc.ConfigJSON, len(journal))
+	for i, e := range journal {
+		if e.Seq != uint64(i+1) {
+			sum.Violations = append(sum.Violations, Violation{
+				Oracle: OracleAcceptedLost,
+				Detail: fmt.Sprintf("journal entry %d has seq %d: sequence gap", i, e.Seq),
+			})
+		}
+		bySeq[e.Seq] = e.Config
+	}
+	for _, a := range d.accepted {
+		got, ok := bySeq[a.seq]
+		if !ok {
+			sum.Violations = append(sum.Violations, Violation{
+				Oracle: OracleAcceptedLost,
+				Detail: fmt.Sprintf("2xx-acknowledged seq %d missing from journal", a.seq),
+			})
+			continue
+		}
+		if got != a.config {
+			sum.Violations = append(sum.Violations, Violation{
+				Oracle: OracleAcceptedLost,
+				Detail: fmt.Sprintf("seq %d: acknowledged config differs from journal", a.seq),
+			})
+		}
+	}
+	// The configuration in force is the journal tail (or the initial
+	// configuration when nothing ever committed): a rolled-back or
+	// wedged transaction must never move it.
+	want := initial
+	if len(journal) > 0 {
+		want = journal[len(journal)-1].Config
+	}
+	if live != want {
+		sum.Violations = append(sum.Violations, Violation{
+			Oracle: OracleAcceptedLost,
+			Detail: "live config is not the journal tail: accepted state lost or unaccepted state live",
+		})
+	}
+}
+
+func checkQueueBound(sum *ServiceSummary, name string, q *svc.ClassQueue) {
+	if hw := q.DepthHW.Value(); hw > q.MaxWait() {
+		sum.Violations = append(sum.Violations, Violation{
+			Oracle: OracleQueueBounded,
+			Detail: fmt.Sprintf("%s queue high water %d exceeded bound %d", name, hw, q.MaxWait()),
+		})
+	}
+}
+
+func (d *svcDriver) getJSON(path string, v any) error {
+	resp, err := d.client.Get(d.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

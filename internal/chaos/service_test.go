@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/svc"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// TestServiceCampaignFixedSeed is the acceptance run: a fixed-seed
+// campaign drives the live service concurrently — stampedes, coherence
+// probes, slow clients, transient and wedged mid-commit faults, shed
+// bursts — and both service oracles must hold.
+func TestServiceCampaignFixedSeed(t *testing.T) {
+	sum, err := RunServiceCampaign(ServiceOptions{
+		Seed:     42,
+		Clients:  8,
+		Requests: 140,
+		Budget:   2 * time.Minute,
+		Service: svc.Options{
+			Workload: workload.Params{
+				Topology: "linear", Switches: 2, TSFlows: 6, Hops: 2,
+				WireSize: 200, SlotUs: 65, Seed: 1,
+			},
+			RetryMax: 3,
+		},
+		Log: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sum.Violations {
+		t.Errorf("oracle violation: %s", v)
+	}
+	for _, e := range sum.Errors {
+		t.Errorf("campaign error: %s", e)
+	}
+	if sum.Executed == 0 {
+		t.Fatal("campaign executed nothing")
+	}
+	if sum.Accepted == 0 {
+		t.Error("no reconfiguration was ever accepted — the drive plan is broken")
+	}
+	if sum.CoherenceProbes == 0 {
+		t.Error("no coherence probe ran")
+	}
+	if sum.FaultsArmed < 2 {
+		t.Errorf("faults armed = %d, want transient(s) + the wedge", sum.FaultsArmed)
+	}
+	if sum.ByStatus[http.StatusOK] == 0 {
+		t.Error("no request ever succeeded")
+	}
+	// The wedge must have surfaced as at least one hard failure
+	// (500 verify/rollback) — never as a silent 2xx.
+	if sum.ByStatus[http.StatusInternalServerError] == 0 {
+		t.Error("the armed wedge never produced a 500")
+	}
+}
+
+// TestServiceCampaignOracleCatchesFabricatedLoss verifies the
+// accepted-then-lost oracle actually bites: a fabricated client-side
+// acknowledgment that the journal never saw must be flagged.
+func TestServiceCampaignOracleCatchesFabricatedLoss(t *testing.T) {
+	s, err := svc.NewService(svc.Options{Workload: workload.Params{
+		Topology: "linear", Switches: 2, TSFlows: 4, Hops: 2,
+		WireSize: 200, SlotUs: 65, Seed: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	d := &svcDriver{
+		base:     "http://" + ln.Addr().String(),
+		client:   &http.Client{Timeout: 10 * time.Second},
+		byStatus: make(map[int]int64),
+	}
+	d.accepted = []acceptedTxn{{seq: 999, config: svc.ConfigJSON{UnicastSize: 1}}}
+	sum := &ServiceSummary{ByStatus: d.byStatus}
+	d.checkAcceptedThenLost(sum, svc.ToConfigJSON(s.Instance().LiveConfig()))
+	found := false
+	for _, v := range sum.Violations {
+		if v.Oracle == OracleAcceptedLost && strings.Contains(v.Detail, "seq 999") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fabricated acknowledgment not flagged; violations: %v", sum.Violations)
+	}
+}

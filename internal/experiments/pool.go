@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,8 +36,19 @@ import (
 // self-contained: it runs concurrently with other indices and must not
 // share unsynchronized mutable state.
 func FanOut(workers, n int, fn func(i int) bool) {
+	FanOutCtx(context.Background(), workers, n, fn)
+}
+
+// FanOutCtx is FanOut under a context: once ctx is done no further
+// indices are claimed, exactly as if fn had returned false. Work
+// already claimed still finishes — cancellation is a stop signal, not
+// an abort — so fn never observes a torn half-run and the caller can
+// rely on every started index having completed when FanOutCtx returns.
+// It returns ctx.Err() when cancellation cut the sweep short and nil
+// when every index was claimed.
+func FanOutCtx(ctx context.Context, workers, n int, fn func(i int) bool) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers < 1 {
 		workers = 1
@@ -44,7 +56,7 @@ func FanOut(workers, n int, fn func(i int) bool) {
 	if workers > n {
 		workers = n
 	}
-	var next atomic.Int64
+	var next, done atomic.Int64
 	next.Store(-1)
 	var stopped atomic.Bool
 	var wg sync.WaitGroup
@@ -53,11 +65,16 @@ func FanOut(workers, n int, fn func(i int) bool) {
 		go func() {
 			defer wg.Done()
 			for !stopped.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				if !fn(i) {
+				ok := fn(i)
+				done.Add(1)
+				if !ok {
 					stopped.Store(true)
 					return
 				}
@@ -65,6 +82,10 @@ func FanOut(workers, n int, fn func(i int) bool) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil && int(done.Load()) < n {
+		return err
+	}
+	return nil
 }
 
 // workers resolves the sweep fan-out width from Params.

@@ -1,0 +1,49 @@
+package metrics
+
+import "sync/atomic"
+
+// Goroutine-safe instrument cells for subsystems that live outside the
+// single-threaded simulation — the service control plane's HTTP
+// handlers in particular. The hot-path Counter/Gauge handles are
+// deliberately unsynchronized (see the package comment); these are
+// their atomic siblings for code where several OS threads genuinely
+// race on one cell. They are not registered in a Registry: the owner
+// folds their values into a snapshot registry at scrape time, so the
+// unsynchronized registry cells are still only ever written from one
+// goroutine at a time.
+
+// SyncCounter is a monotonically increasing counter safe for
+// concurrent use. The zero value is ready to use.
+type SyncCounter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *SyncCounter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *SyncCounter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *SyncCounter) Value() uint64 { return c.v.Load() }
+
+// SyncGauge is a settable signed instrument safe for concurrent use.
+// The zero value is ready to use.
+type SyncGauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *SyncGauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d and returns the new value.
+func (g *SyncGauge) Add(d int64) int64 { return g.v.Add(d) }
+
+// SetMax raises the gauge to v if v exceeds the current value.
+func (g *SyncGauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *SyncGauge) Value() int64 { return g.v.Load() }

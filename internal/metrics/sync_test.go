@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSyncCounterConcurrent(t *testing.T) {
+	var c SyncCounter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1010 {
+		t.Fatalf("counter = %d, want %d", got, 8*1010)
+	}
+}
+
+func TestSyncGaugeConcurrentAdd(t *testing.T) {
+	var g SyncGauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %d, want 0 after balanced adds", got)
+	}
+}
+
+func TestSyncGaugeSetMax(t *testing.T) {
+	var g SyncGauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.SetMax(int64(w * 100))
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 700 {
+		t.Fatalf("gauge = %d, want 700 (SetMax high-water)", got)
+	}
+	g.Set(-5)
+	if got := g.Value(); got != -5 {
+		t.Fatalf("gauge after Set = %d, want -5", got)
+	}
+	g.SetMax(-10)
+	if got := g.Value(); got != -5 {
+		t.Fatalf("SetMax lowered the gauge: %d", got)
+	}
+}

@@ -20,6 +20,7 @@ package reconfig
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/frer"
@@ -41,6 +42,11 @@ const (
 	// transient staging failure.
 	MetricRetries = "tsn_reconfig_retries_total"
 )
+
+// maxCommitAt is the latest instant a retry may be scheduled at: half
+// the sim.Time range, so arithmetic like CommitTime()+1 or adding a
+// watchdog interval downstream can never overflow.
+const maxCommitAt = sim.Time(math.MaxInt64 / 2)
 
 // State is a transaction's lifecycle position.
 type State int
@@ -537,7 +543,17 @@ func (t *Txn) Commit() {
 				if backoff <= 0 {
 					backoff = 2 * t.old.SlotSize
 				}
-				t.commitAt = t.c.engine.Now() + backoff
+				// Clamp the retry instant: a pathological backoff (or a
+				// long-lived engine already deep into its timeline) must
+				// not overflow sim.Time into the past and time-travel the
+				// retry. maxCommitAt leaves headroom for callers that add
+				// small offsets to CommitTime.
+				now := t.c.engine.Now()
+				if backoff > maxCommitAt-now {
+					t.commitAt = maxCommitAt
+				} else {
+					t.commitAt = now + backoff
+				}
 				t.c.engine.At(t.commitAt, "reconfig:retry", func(*sim.Engine) { t.Commit() })
 				return
 			}

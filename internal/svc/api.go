@@ -1,0 +1,222 @@
+package svc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// Spec is the northbound application spec of POST /v1/derive: the same
+// compact parameter set the chaos engine and tsnsim build workloads
+// from, so any service request is replayable as a command line. The
+// derivation is a pure function of the normalized spec, which is what
+// makes the cache sound: same spec hash, same bytes.
+type Spec struct {
+	// Topology is one of star, ring, bidir-ring, linear, tree.
+	Topology string `json:"topology"`
+	// Switches is the node count.
+	Switches int `json:"switches"`
+	// TSFlows is the time-sensitive flow count.
+	TSFlows int `json:"ts_flows"`
+	// Hops is how many switches each TS flow traverses (default 2).
+	Hops int `json:"hops,omitempty"`
+	// WireSize is the TS frame size in bytes (default 200).
+	WireSize int `json:"wire_size,omitempty"`
+	// SlotUs is the CQF slot in microseconds (default 65, the paper's).
+	SlotUs int `json:"slot_us,omitempty"`
+	// RCMbps/BEMbps are background injector rates.
+	RCMbps int `json:"rc_mbps,omitempty"`
+	BEMbps int `json:"be_mbps,omitempty"`
+	// FRERFlows makes the first n TS flows 802.1CB-redundant
+	// (bidir-ring topologies only).
+	FRERFlows int `json:"frer_flows,omitempty"`
+	// Seed drives deadline assignment.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Derivation size limits: the service is a shared frontend, so one
+// request must not be able to buy unbounded CPU. The bounds cover the
+// paper's scenarios with an order of magnitude to spare.
+const (
+	MaxSwitches = 64
+	MaxTSFlows  = 512
+)
+
+// Normalize applies defaults and validates the spec, returning a
+// descriptive error for anything out of range. The normalized spec is
+// the cache identity: two requests that normalize equal share one
+// derivation.
+func (s *Spec) Normalize() error {
+	if s.Hops == 0 {
+		s.Hops = 2
+	}
+	if s.WireSize == 0 {
+		s.WireSize = 200
+	}
+	if s.SlotUs == 0 {
+		s.SlotUs = 65
+	}
+	switch s.Topology {
+	case "star", "ring", "bidir-ring", "linear", "tree":
+	case "":
+		return fmt.Errorf("svc: spec missing topology")
+	default:
+		return fmt.Errorf("svc: unknown topology %q", s.Topology)
+	}
+	if s.Switches < 2 || s.Switches > MaxSwitches {
+		return fmt.Errorf("svc: switches %d out of [2,%d]", s.Switches, MaxSwitches)
+	}
+	if s.TSFlows < 1 || s.TSFlows > MaxTSFlows {
+		return fmt.Errorf("svc: ts_flows %d out of [1,%d]", s.TSFlows, MaxTSFlows)
+	}
+	if s.Hops < 1 || s.Hops > s.Switches {
+		return fmt.Errorf("svc: hops %d out of [1,%d]", s.Hops, s.Switches)
+	}
+	if s.WireSize < 64 || s.WireSize > 1518 {
+		return fmt.Errorf("svc: wire_size %d out of [64,1518]", s.WireSize)
+	}
+	if s.SlotUs < 5 || s.SlotUs > 1000 {
+		return fmt.Errorf("svc: slot_us %d out of [5,1000]", s.SlotUs)
+	}
+	if s.RCMbps < 0 || s.RCMbps > 1000 || s.BEMbps < 0 || s.BEMbps > 1000 {
+		return fmt.Errorf("svc: background rates out of [0,1000] Mbps")
+	}
+	if s.FRERFlows < 0 || s.FRERFlows > workload.MaxFRERFlows {
+		return fmt.Errorf("svc: frer_flows %d out of [0,%d]", s.FRERFlows, workload.MaxFRERFlows)
+	}
+	if s.FRERFlows > 0 && s.Topology != "bidir-ring" {
+		return fmt.Errorf("svc: frer_flows requires the bidir-ring topology")
+	}
+	return nil
+}
+
+// Hash returns the normalized spec's cache key. Call Normalize first.
+func (s *Spec) Hash() string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf(
+		"%s|%d|%d|%d|%d|%d|%d|%d|%d|%d",
+		s.Topology, s.Switches, s.TSFlows, s.Hops, s.WireSize,
+		s.SlotUs, s.RCMbps, s.BEMbps, s.FRERFlows, s.Seed)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Params converts the normalized spec into workload build parameters.
+func (s *Spec) Params() workload.Params {
+	return workload.Params{
+		Topology: s.Topology, Switches: s.Switches, TSFlows: s.TSFlows,
+		Hops: s.Hops, WireSize: s.WireSize, SlotUs: s.SlotUs,
+		RCMbps: s.RCMbps, BEMbps: s.BEMbps, FRERFlows: s.FRERFlows,
+		Seed: s.Seed,
+	}
+}
+
+// ConfigJSON is the wire form of a resource configuration — the Table
+// II set_* parameter file a derivation produces and a reconfiguration
+// transacts to.
+type ConfigJSON struct {
+	UnicastSize   int   `json:"unicast_size"`
+	MulticastSize int   `json:"multicast_size"`
+	ClassSize     int   `json:"class_size"`
+	MeterSize     int   `json:"meter_size"`
+	GateSize      int   `json:"gate_size"`
+	QueueNum      int   `json:"queue_num"`
+	PortNum       int   `json:"port_num"`
+	CBSMapSize    int   `json:"cbs_map_size"`
+	CBSSize       int   `json:"cbs_size"`
+	QueueDepth    int   `json:"queue_depth"`
+	BufferNum     int   `json:"buffer_num"`
+	FRERSize      int   `json:"frer_size"`
+	FRERHistory   int   `json:"frer_history"`
+	SlotNs        int64 `json:"slot_ns"`
+	LinkRateBps   int64 `json:"link_rate_bps"`
+}
+
+// ToConfigJSON converts a core configuration to its wire form.
+func ToConfigJSON(c core.Config) ConfigJSON {
+	return ConfigJSON{
+		UnicastSize: c.UnicastSize, MulticastSize: c.MulticastSize,
+		ClassSize: c.ClassSize, MeterSize: c.MeterSize,
+		GateSize: c.GateSize, QueueNum: c.QueueNum, PortNum: c.PortNum,
+		CBSMapSize: c.CBSMapSize, CBSSize: c.CBSSize,
+		QueueDepth: c.QueueDepth, BufferNum: c.BufferNum,
+		FRERSize: c.FRERSize, FRERHistory: c.FRERHistory,
+		SlotNs: int64(c.SlotSize), LinkRateBps: int64(c.LinkRate),
+	}
+}
+
+// MemoryItem is one row of the platform memory report.
+type MemoryItem struct {
+	Label string `json:"label"`
+	Bits  int64  `json:"bits"`
+}
+
+// DeriveResponse is POST /v1/derive's body. It is deterministic for a
+// spec hash — the cache-coherence oracle compares cached and fresh
+// bodies byte for byte.
+type DeriveResponse struct {
+	SpecHash     string       `json:"spec_hash"`
+	Config       ConfigJSON   `json:"config"`
+	MaxOccupancy int          `json:"max_occupancy"`
+	MemoryKb     float64      `json:"memory_kb"`
+	Memory       []MemoryItem `json:"memory"`
+}
+
+// ReconfigRequest is POST /v1/reconfig's body: absolute new values for
+// the live-resizable resources; zero keeps the live value. The field
+// set matches the chaos engine's reconfiguration delta.
+type ReconfigRequest struct {
+	UnicastSize   int `json:"unicast_size,omitempty"`
+	MulticastSize int `json:"multicast_size,omitempty"`
+	ClassSize     int `json:"class_size,omitempty"`
+	MeterSize     int `json:"meter_size,omitempty"`
+	QueueDepth    int `json:"queue_depth,omitempty"`
+	BufferNum     int `json:"buffer_num,omitempty"`
+}
+
+// Empty reports a request that changes nothing.
+func (r *ReconfigRequest) Empty() bool {
+	return r.UnicastSize == 0 && r.MulticastSize == 0 && r.ClassSize == 0 &&
+		r.MeterSize == 0 && r.QueueDepth == 0 && r.BufferNum == 0
+}
+
+// Candidate overlays the request's non-zero fields on the live config.
+func (r *ReconfigRequest) Candidate(cfg core.Config) core.Config {
+	if r.UnicastSize > 0 {
+		cfg.UnicastSize = r.UnicastSize
+	}
+	if r.MulticastSize > 0 {
+		cfg.MulticastSize = r.MulticastSize
+	}
+	if r.ClassSize > 0 {
+		cfg.ClassSize = r.ClassSize
+	}
+	if r.MeterSize > 0 {
+		cfg.MeterSize = r.MeterSize
+	}
+	if r.QueueDepth > 0 {
+		cfg.QueueDepth = r.QueueDepth
+	}
+	if r.BufferNum > 0 {
+		cfg.BufferNum = r.BufferNum
+	}
+	return cfg
+}
+
+// ReconfigResponse is POST /v1/reconfig's 200 body: the transaction is
+// committed and observable — Seq is its position in the instance's
+// committed journal, Config the configuration now in force.
+type ReconfigResponse struct {
+	Seq        uint64     `json:"seq"`
+	State      string     `json:"state"`
+	Attempts   int        `json:"attempts"`
+	CommitAtNs sim.Time   `json:"commit_at_ns"`
+	Config     ConfigJSON `json:"config"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

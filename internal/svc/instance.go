@@ -1,0 +1,324 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/core"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+	"github.com/tsnbuilder/tsnbuilder/testbed"
+)
+
+// ErrInstanceClosed marks work submitted after the instance shut down.
+var ErrInstanceClosed = errors.New("svc: instance closed")
+
+// InstanceOptions configures the managed testbed instance.
+type InstanceOptions struct {
+	// Workload selects the managed network; the zero value picks a
+	// small linear default.
+	Workload workload.Params
+	// RetryMax/RetryBackoff configure the reconfiguration engine's
+	// bounded commit retry (absorbs transient staging failures).
+	RetryMax     int
+	RetryBackoff sim.Time
+	// WatchdogInterval is the invariant audit period (default 1 ms of
+	// simulated time). After every commit the instance advances the
+	// simulation one interval so the watchdog sweeps the post-commit
+	// state before the response is written.
+	WatchdogInterval sim.Time
+}
+
+// JournalEntry is one committed reconfiguration: the sequence number
+// returned to the client and the configuration it put in force. The
+// journal is the accepted-then-lost oracle's ground truth — every 2xx
+// response must appear here, and the tail entry must match LiveConfig.
+type JournalEntry struct {
+	Seq    uint64     `json:"seq"`
+	Config ConfigJSON `json:"config"`
+}
+
+// InstanceStatus is a point-in-time copy of the instance's control
+// state, safe to read from any goroutine.
+type InstanceStatus struct {
+	Live      core.Config
+	Seq       uint64
+	Journal   []JournalEntry
+	VerifyErr error
+	Degraded  bool
+	Detail    string
+}
+
+// ReconfigOutcome is one processed reconfiguration job's result.
+type ReconfigOutcome struct {
+	// Shed is set when the job's deadline expired before the commit
+	// began; nothing was staged or touched.
+	Shed bool
+	// RejectErr is a validation rejection (the candidate cannot apply).
+	RejectErr error
+	// State/Attempts/CommitAt describe the resolved transaction.
+	State    reconfig.State
+	Attempts int
+	CommitAt sim.Time
+	// Err is the rollback cause for a failed commit.
+	Err error
+	// VerifyErr is a post-commit VerifyLive failure: partial state was
+	// left in place (the wedged-commit signature).
+	VerifyErr error
+	// Seq/Config are set for a committed, verified transaction.
+	Seq    uint64
+	Config core.Config
+}
+
+// Instance owns one long-running simulated network and the single
+// control-loop goroutine through which every engine interaction is
+// serialized — the discrete-event engine is single-threaded by
+// contract, so HTTP handlers never touch it directly. Reconfiguration
+// jobs queue onto the loop and commit one at a time; a job whose
+// deadline expires while queued is shed before anything is staged, but
+// once a commit begins it always runs to resolution — an in-flight
+// commit is never aborted.
+type Instance struct {
+	net      *testbed.Net
+	reg      *metrics.Registry
+	interval sim.Time
+
+	jobs   chan func()
+	closed atomic.Bool
+	done   chan struct{}
+
+	// snap is the last published registry snapshot (obs pattern: HTTP
+	// readers only ever see published copies).
+	snap atomic.Value // metrics.Snapshot
+
+	// OnHealth, when set, is invoked after every job with the
+	// instance's health — the service wires it into the circuit
+	// breaker so watchdog recovery de-escalates an open breaker.
+	OnHealth func(healthy bool)
+
+	mu        sync.Mutex
+	live      core.Config
+	seq       uint64
+	journal   []JournalEntry
+	verifyErr error
+}
+
+// DefaultWorkload is the managed instance's fallback network.
+func DefaultWorkload() workload.Params {
+	return workload.Params{
+		Topology: "linear", Switches: 4, TSFlows: 24, Hops: 2,
+		WireSize: 200, SlotUs: 65, Seed: 1,
+	}
+}
+
+// NewInstance builds the managed network and starts its control loop.
+func NewInstance(opts InstanceOptions) (*Instance, error) {
+	if opts.Workload.Topology == "" {
+		opts.Workload = DefaultWorkload()
+	}
+	if opts.WatchdogInterval <= 0 {
+		opts.WatchdogInterval = sim.Millisecond
+	}
+	wl, err := workload.Build(opts.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("svc: instance workload: %w", err)
+	}
+	reg := metrics.New()
+	net, err := testbed.Build(testbed.Options{
+		Design: wl.Design, Topo: wl.Topo, Flows: wl.Specs,
+		Metrics: reg, Seed: opts.Workload.Seed,
+		EnableWatchdog: true, WatchdogInterval: opts.WatchdogInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("svc: instance build: %w", err)
+	}
+	if opts.RetryMax > 0 {
+		net.Reconfig.SetRetryPolicy(opts.RetryMax, opts.RetryBackoff)
+	}
+	in := &Instance{
+		net: net, reg: reg, interval: opts.WatchdogInterval,
+		jobs: make(chan func(), 64),
+		done: make(chan struct{}),
+		live: net.LiveConfig(),
+	}
+	in.snap.Store(reg.Snapshot())
+	go in.loop()
+	return in, nil
+}
+
+// loop is the control goroutine: it executes queued jobs in FIFO order
+// until Close's sentinel arrives. Every engine call in the process
+// happens here.
+func (in *Instance) loop() {
+	defer close(in.done)
+	for job := range in.jobs {
+		if job == nil {
+			return
+		}
+		job()
+	}
+}
+
+// submit queues fn onto the control loop and waits for it to finish.
+// The ctx only bounds the enqueue: once accepted, the job runs to
+// completion and submit waits for it — callers must do their own
+// deadline check inside fn if they want to shed late work.
+func (in *Instance) submit(ctx context.Context, fn func()) error {
+	if in.closed.Load() {
+		return ErrInstanceClosed
+	}
+	ran := make(chan struct{})
+	wrapped := func() { fn(); close(ran) }
+	select {
+	case in.jobs <- wrapped:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-in.done:
+		return ErrInstanceClosed
+	}
+	select {
+	case <-ran:
+		return nil
+	case <-in.done:
+		// Closed with the job still queued (no handlers should be alive
+		// at that point; this is a backstop, not a normal path).
+		return ErrInstanceClosed
+	}
+}
+
+// Close drains queued jobs and stops the control loop. Call only after
+// the HTTP server has drained: the sentinel is FIFO-ordered behind any
+// queued work, so accepted jobs still resolve first.
+func (in *Instance) Close() {
+	if in.closed.CompareAndSwap(false, true) {
+		in.jobs <- nil
+	}
+	<-in.done
+}
+
+// Reconfigure runs one transactional reconfiguration against the live
+// network. It serializes onto the control loop; ctx sheds the job if
+// it is still queued at expiry, and is ignored from the moment the
+// commit begins.
+func (in *Instance) Reconfigure(ctx context.Context, req *ReconfigRequest) (ReconfigOutcome, error) {
+	var out ReconfigOutcome
+	err := in.submit(ctx, func() {
+		// Shed point: the deadline lapsed while queued; nothing staged.
+		if ctx.Err() != nil {
+			out.Shed = true
+			return
+		}
+		cand := req.Candidate(in.net.LiveConfig())
+		txn, err := in.net.Reconfigure(cand)
+		if err != nil {
+			out.RejectErr = err
+			in.publish()
+			return
+		}
+		// From here the commit is in flight: run the engine to the
+		// commit instant (and through bounded retries) regardless of
+		// the request deadline.
+		for txn.State() == reconfig.StatePrepared {
+			in.net.Engine.RunUntil(txn.CommitTime() + 1)
+		}
+		// Let the watchdog audit the post-commit state before replying.
+		in.net.Engine.RunFor(in.interval + 1)
+		out.State = txn.State()
+		out.Attempts = txn.Attempts()
+		out.CommitAt = txn.CommitTime()
+		out.Err = txn.Err()
+		out.VerifyErr = in.net.VerifyLive()
+		out.Config = in.net.LiveConfig()
+
+		in.mu.Lock()
+		in.live = out.Config
+		in.verifyErr = out.VerifyErr
+		if out.State == reconfig.StateCommitted && out.VerifyErr == nil {
+			in.seq++
+			out.Seq = in.seq
+			in.journal = append(in.journal, JournalEntry{Seq: in.seq, Config: ToConfigJSON(out.Config)})
+		}
+		in.mu.Unlock()
+		in.publish()
+		if in.OnHealth != nil {
+			in.OnHealth(out.VerifyErr == nil && !in.net.Watchdog.Degraded())
+		}
+	})
+	return out, err
+}
+
+// Advance runs the simulated network forward by d (watchdog audits
+// included) — the idle-time heartbeat that keeps health fresh.
+func (in *Instance) Advance(ctx context.Context, d sim.Time) error {
+	return in.submit(ctx, func() {
+		in.net.Engine.RunFor(d)
+		in.publish()
+		if in.OnHealth != nil {
+			in.OnHealth(in.verifyError() == nil && !in.net.Watchdog.Degraded())
+		}
+	})
+}
+
+// ArmTransient arms n transient mid-commit failures before staged op
+// index op on the next commit attempts (chaos hook).
+func (in *Instance) ArmTransient(op, times int) error {
+	return in.submit(context.Background(), func() { in.net.Reconfig.ArmTransient(op, times) })
+}
+
+// ArmWedge arms a wedged mid-commit failure: the applied prefix stays
+// in place while the transaction claims rolled-back (chaos hook; the
+// post-commit VerifyLive catches it and trips the breaker).
+func (in *Instance) ArmWedge(op int) error {
+	return in.submit(context.Background(), func() { in.net.Reconfig.ArmWedge(op) })
+}
+
+// publish stores a fresh registry snapshot for HTTP readers; loop
+// goroutine only.
+func (in *Instance) publish() { in.snap.Store(in.reg.Snapshot()) }
+
+// MetricsSnapshot returns the last published simulation-registry
+// snapshot.
+func (in *Instance) MetricsSnapshot() metrics.Snapshot {
+	return in.snap.Load().(metrics.Snapshot)
+}
+
+// Health returns the live health board (watchdog-written, mutex-
+// guarded, safe from any goroutine).
+func (in *Instance) Health() (degraded bool, detail string) {
+	d, detail, _, _ := in.net.Health.Status()
+	return d || in.verifyError() != nil, detail
+}
+
+func (in *Instance) verifyError() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.verifyErr
+}
+
+// Status copies the control state.
+func (in *Instance) Status() InstanceStatus {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	degraded, detail, _, _ := in.net.Health.Status()
+	return InstanceStatus{
+		Live:      in.live,
+		Seq:       in.seq,
+		Journal:   append([]JournalEntry(nil), in.journal...),
+		VerifyErr: in.verifyErr,
+		Degraded:  degraded || in.verifyErr != nil,
+		Detail:    detail,
+	}
+}
+
+// LiveConfig returns the configuration the controller believes is in
+// force.
+func (in *Instance) LiveConfig() core.Config {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.live
+}

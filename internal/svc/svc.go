@@ -1,0 +1,587 @@
+// Package svc is the TSN-as-a-Service control plane: a long-running
+// HTTP frontend over the paper's two core operations — derive a
+// resource-efficient switch configuration from an application spec
+// (POST /v1/derive), and transact a live reconfiguration against a
+// managed running network (POST /v1/reconfig).
+//
+// The package is built as production robustness machinery around those
+// two calls:
+//
+//   - per-request deadlines with context propagation into the
+//     derivation cache and the commit queue;
+//   - a bounded admission queue per request class with load shedding
+//     (429 + Retry-After), shedding derivation before reconfiguration
+//     and never aborting an in-flight commit;
+//   - a singleflight + bounded-LRU derivation cache keyed by spec hash;
+//   - a circuit breaker that trips on consecutive commit failures and
+//     de-escalates when the watchdog reports the instance healthy;
+//   - panic-recovery middleware that fails the request, never the
+//     process;
+//   - graceful drain: Shutdown stops the listener, waits for in-flight
+//     requests, then stops the instance control loop (the obs.Server
+//     ownership pattern).
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// Options configures NewService. Zero values select the defaults.
+type Options struct {
+	// Workload selects the managed instance's network.
+	Workload workload.Params
+	// CacheSize bounds the derivation cache (entries; default 512).
+	CacheSize int
+	// DeriveConcurrency/DeriveQueue bound the derive class (defaults
+	// 4 running, 64 waiting). ReconfigQueue bounds the reconfig wait
+	// queue (default 16; concurrency is 1 — commits serialize).
+	DeriveConcurrency int
+	DeriveQueue       int
+	ReconfigQueue     int
+	// DeriveDeadline/ReconfigDeadline are the default per-request
+	// deadlines (2s / 10s); the X-Request-Deadline header (a Go
+	// duration, e.g. "500ms") overrides per request, capped at 60s.
+	DeriveDeadline   time.Duration
+	ReconfigDeadline time.Duration
+	// BreakerThreshold consecutive commit failures trip the breaker
+	// (default 3); BreakerCooldown is the open→half-open delay
+	// (default 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryMax/RetryBackoffUs configure the reconfiguration engine's
+	// bounded commit retry (default 3 retries, engine-default backoff).
+	RetryMax       int
+	RetryBackoffUs int
+}
+
+func (o *Options) defaults() {
+	if o.CacheSize == 0 {
+		o.CacheSize = 512
+	}
+	if o.DeriveConcurrency == 0 {
+		o.DeriveConcurrency = 4
+	}
+	if o.DeriveQueue == 0 {
+		o.DeriveQueue = 64
+	}
+	if o.ReconfigQueue == 0 {
+		o.ReconfigQueue = 16
+	}
+	if o.DeriveDeadline == 0 {
+		o.DeriveDeadline = 2 * time.Second
+	}
+	if o.ReconfigDeadline == 0 {
+		o.ReconfigDeadline = 10 * time.Second
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 3
+	}
+}
+
+// maxDeadline caps client-requested deadlines.
+const maxDeadline = 60 * time.Second
+
+// maxBodyBytes bounds request bodies (a spec or a delta is tiny).
+const maxBodyBytes = 1 << 20
+
+// Service is the control plane: HTTP frontend, admission control,
+// derivation cache, circuit breaker and the managed instance.
+type Service struct {
+	opts  Options
+	inst  *Instance
+	cache *Cache
+	adm   *Admission
+	brk   *Breaker
+	stats *stats
+
+	mux       *http.ServeMux
+	httpSrv   *http.Server
+	closing   chan struct{}
+	closeOnce sync.Once
+}
+
+// stats is the service-level telemetry: atomic cells written by any
+// handler goroutine, folded into a registry snapshot at scrape time.
+type stats struct {
+	mu       sync.Mutex
+	requests map[[2]string]*metrics.SyncCounter // {route, code-class} → count
+
+	deadlineExceeded metrics.SyncCounter
+	panics           metrics.SyncCounter
+	breakerRejects   metrics.SyncCounter
+}
+
+func newStats() *stats {
+	return &stats{requests: make(map[[2]string]*metrics.SyncCounter)}
+}
+
+// request counts one finished request under its route and status code.
+func (s *stats) request(route string, code int) {
+	key := [2]string{route, strconv.Itoa(code)}
+	s.mu.Lock()
+	c, ok := s.requests[key]
+	if !ok {
+		c = &metrics.SyncCounter{}
+		s.requests[key] = c
+	}
+	s.mu.Unlock()
+	c.Inc()
+}
+
+// NewService builds the control plane and starts the managed instance.
+func NewService(opts Options) (*Service, error) {
+	opts.defaults()
+	inst, err := NewInstance(InstanceOptions{
+		Workload:     opts.Workload,
+		RetryMax:     opts.RetryMax,
+		RetryBackoff: sim.Time(opts.RetryBackoffUs) * sim.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		opts:    opts,
+		inst:    inst,
+		cache:   NewCache(opts.CacheSize),
+		adm:     NewAdmission(opts.DeriveConcurrency, opts.DeriveQueue, opts.ReconfigQueue),
+		brk:     NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		stats:   newStats(),
+		mux:     http.NewServeMux(),
+		closing: make(chan struct{}),
+	}
+	// Watchdog recovery de-escalates the breaker: a healthy outcome
+	// resets it, an unhealthy one counts as a failure streak member
+	// only through the explicit Failure calls on commit outcomes.
+	inst.OnHealth = func(healthy bool) {
+		if healthy && s.brk.State() != BreakerClosed {
+			s.brk.Success()
+		}
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
+	s.mux.HandleFunc("/v1/derive", s.route("derive", s.opts.DeriveDeadline, s.handleDerive))
+	s.mux.HandleFunc("/v1/reconfig", s.route("reconfig", s.opts.ReconfigDeadline, s.handleReconfig))
+	s.mux.HandleFunc("/v1/config", s.route("config", 5*time.Second, s.handleConfig))
+	s.mux.HandleFunc("/v1/journal", s.route("journal", 5*time.Second, s.handleJournal))
+	s.mux.HandleFunc("/healthz", s.route("healthz", 5*time.Second, s.handleHealthz))
+	s.mux.HandleFunc("/readyz", s.route("readyz", 5*time.Second, s.handleReadyz))
+	s.mux.HandleFunc("/metrics", s.route("metrics", 5*time.Second, s.handleMetrics))
+	return s, nil
+}
+
+// Instance exposes the managed instance (chaos campaigns arm faults on
+// it in-process).
+func (s *Service) Instance() *Instance { return s.inst }
+
+// Breaker exposes the reconfiguration circuit breaker.
+func (s *Service) Breaker() *Breaker { return s.brk }
+
+// Admission exposes the admission queues.
+func (s *Service) Admission() *Admission { return s.adm }
+
+// Cache exposes the derivation cache.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on ln until Shutdown; it owns the
+// underlying http.Server (the obs.Server pattern) and always returns a
+// non-nil error, http.ErrServerClosed after a clean Shutdown.
+func (s *Service) Serve(ln net.Listener) error { return s.httpSrv.Serve(ln) }
+
+// Shutdown drains the service: the listener closes, in-flight requests
+// get until ctx's deadline, then the instance control loop stops. Work
+// accepted before the drain still resolves — the instance sentinel is
+// FIFO-ordered behind queued commits.
+func (s *Service) Shutdown(ctx context.Context) error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		err = s.httpSrv.Shutdown(ctx)
+		if err != nil {
+			_ = s.httpSrv.Close()
+		}
+		s.inst.Close()
+	})
+	return err
+}
+
+// statusRecorder captures the response code for request accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler in the middleware stack: panic recovery
+// outermost (a panicking request 500s, the process survives), then the
+// per-request deadline, then request accounting.
+func (s *Service) route(name string, deadline time.Duration, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.stats.panics.Inc()
+				// The handler may have written nothing yet; best-effort
+				// error body, never re-panic.
+				writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal panic: %v", p))
+			}
+			s.stats.request(name, rec.code)
+		}()
+		d := deadline
+		if hdr := r.Header.Get("X-Request-Deadline"); hdr != "" {
+			if v, err := time.ParseDuration(hdr); err == nil && v > 0 {
+				d = min(v, maxDeadline)
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		h(rec, r.WithContext(ctx))
+	}
+}
+
+// writeJSON writes a 2xx JSON body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
+}
+
+// shed writes the 429 load-shed response.
+func shed(w http.ResponseWriter, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Round(time.Second)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, "overloaded, retry later")
+}
+
+// handleDerive serves POST /v1/derive: admission, spec normalization,
+// then the singleflight cache. Cache-Control: no-cache recomputes and
+// refreshes the entry (the coherence oracle's fresh path).
+func (s *Service) handleDerive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	release, err := s.adm.Derive.Acquire(r.Context(), s.adm.Pressured())
+	if err != nil {
+		if errors.Is(err, ErrShed) {
+			shed(w, time.Second)
+		} else {
+			s.stats.deadlineExceeded.Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline expired in admission queue")
+		}
+		return
+	}
+	defer release()
+
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: "+err.Error())
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := spec.Hash()
+	compute := func() ([]byte, error) { return deriveBody(key, spec) }
+
+	var body []byte
+	var cached bool
+	if r.Header.Get("Cache-Control") == "no-cache" {
+		body, err = s.cache.Fresh(r.Context(), key, compute)
+	} else {
+		body, cached, err = s.cache.Get(r.Context(), key, compute)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.stats.deadlineExceeded.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline expired during derivation")
+		return
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Spec-Hash", key)
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	_, _ = w.Write(body)
+}
+
+// deriveBody computes the deterministic response body for a normalized
+// spec: workload build (topology + flows + derivation + design) and a
+// canonical JSON encoding.
+func deriveBody(key string, spec Spec) ([]byte, error) {
+	wl, err := workload.Build(spec.Params())
+	if err != nil {
+		return nil, err
+	}
+	resp := DeriveResponse{
+		SpecHash:     key,
+		Config:       ToConfigJSON(wl.Der.Config),
+		MaxOccupancy: wl.Der.Plan.MaxOccupancy,
+		MemoryKb:     wl.Design.Report.TotalKb(),
+	}
+	for _, it := range wl.Design.Report.Items {
+		resp.Memory = append(resp.Memory, MemoryItem{Label: it.Name, Bits: it.Bits})
+	}
+	return json.Marshal(resp)
+}
+
+// handleReconfig serves POST /v1/reconfig: breaker, admission, then
+// one serialized transaction against the managed instance. A 200 means
+// committed and verified in force; anything else means the live
+// configuration is exactly what it was (or 500 with the breaker
+// tripping when the engine itself broke its contract).
+func (s *Service) handleReconfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if !s.brk.Allow() {
+		s.stats.breakerRejects.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.brk.RetryAfter()/time.Second)))
+		writeError(w, http.StatusServiceUnavailable, "circuit breaker open: recent commits failed")
+		return
+	}
+	release, err := s.adm.Reconfig.Acquire(r.Context(), false)
+	if err != nil {
+		if errors.Is(err, ErrShed) {
+			shed(w, 2*time.Second)
+		} else {
+			s.stats.deadlineExceeded.Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline expired in admission queue")
+		}
+		return
+	}
+	defer release()
+
+	var req ReconfigRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad delta: "+err.Error())
+		return
+	}
+	if req.Empty() {
+		writeError(w, http.StatusBadRequest, "empty delta: nothing to reconfigure")
+		return
+	}
+
+	out, err := s.inst.Reconfigure(r.Context(), &req)
+	switch {
+	case err != nil:
+		if errors.Is(err, ErrInstanceClosed) {
+			writeError(w, http.StatusServiceUnavailable, "instance shutting down")
+		} else {
+			s.stats.deadlineExceeded.Inc()
+			writeError(w, http.StatusGatewayTimeout, "deadline expired before commit started")
+		}
+		return
+	case out.Shed:
+		s.stats.deadlineExceeded.Inc()
+		writeError(w, http.StatusGatewayTimeout, "deadline expired before commit started")
+		return
+	case out.RejectErr != nil:
+		// Validation rejection: a client problem, not an instance
+		// failure — the breaker does not count it.
+		writeError(w, http.StatusConflict, out.RejectErr.Error())
+		return
+	case out.VerifyErr != nil:
+		// The engine broke commit-or-exact-rollback (wedged commit):
+		// partial state is live. Trip towards open and go unready.
+		s.brk.Failure()
+		writeError(w, http.StatusInternalServerError,
+			"post-commit verification failed: "+out.VerifyErr.Error())
+		return
+	case out.State == reconfig.StateRolledBack:
+		s.brk.Failure()
+		msg := "commit failed, rolled back"
+		if out.Err != nil {
+			msg = out.Err.Error()
+		}
+		writeError(w, http.StatusInternalServerError, msg)
+		return
+	case out.State != reconfig.StateCommitted:
+		s.brk.Failure()
+		writeError(w, http.StatusInternalServerError,
+			fmt.Sprintf("transaction resolved %v", out.State))
+		return
+	}
+	s.brk.Success()
+	writeJSON(w, http.StatusOK, ReconfigResponse{
+		Seq: out.Seq, State: out.State.String(), Attempts: out.Attempts,
+		CommitAtNs: out.CommitAt, Config: ToConfigJSON(out.Config),
+	})
+}
+
+// handleConfig serves GET /v1/config: the configuration in force.
+func (s *Service) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ToConfigJSON(s.inst.LiveConfig()))
+}
+
+// handleJournal serves GET /v1/journal: the committed-transaction
+// journal (the accepted-then-lost oracle's ground truth).
+func (s *Service) handleJournal(w http.ResponseWriter, _ *http.Request) {
+	st := s.inst.Status()
+	if st.Journal == nil {
+		st.Journal = []JournalEntry{}
+	}
+	writeJSON(w, http.StatusOK, st.Journal)
+}
+
+// handleHealthz serves liveness + instance health: 200 while the
+// process serves and the instance verifies clean, 503 once the
+// watchdog degrades or a wedged commit left partial state.
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	degraded, detail := s.inst.Health()
+	body := map[string]any{
+		"status":  "ok",
+		"breaker": s.brk.State().String(),
+	}
+	code := http.StatusOK
+	if degraded {
+		body["status"] = "degraded"
+		body["detail"] = detail
+		if st := s.inst.Status(); st.VerifyErr != nil {
+			body["detail"] = st.VerifyErr.Error()
+		}
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// handleReadyz serves readiness: ready to take traffic means the
+// instance is healthy, the breaker is not open, and the reconfig queue
+// has room.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	degraded, _ := s.inst.Health()
+	reasons := []string{}
+	if degraded {
+		reasons = append(reasons, "instance degraded")
+	}
+	if s.brk.State() == BreakerOpen {
+		reasons = append(reasons, "circuit breaker open")
+	}
+	if q := s.adm.Reconfig; q.Depth() >= q.MaxWait() && q.MaxWait() > 0 {
+		reasons = append(reasons, "reconfig queue saturated")
+	}
+	select {
+	case <-s.closing:
+		reasons = append(reasons, "draining")
+	default:
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleMetrics serves the Prometheus exposition: the service-level
+// counters folded into a scrape-time registry, followed by the managed
+// instance's last published simulation snapshot.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.scrapeRegistry().Snapshot().WritePrometheus(w)
+	_ = s.inst.MetricsSnapshot().WritePrometheus(w)
+}
+
+// Service metric names.
+const (
+	MetricRequests     = "tsn_svc_requests_total"
+	MetricQueueDepth   = "tsn_svc_queue_depth"
+	MetricQueueDepthHW = "tsn_svc_queue_depth_high_water"
+	MetricShed         = "tsn_svc_shed_total"
+	MetricBreakerState = "tsn_svc_breaker_state"
+	MetricBreakerTrans = "tsn_svc_breaker_transitions_total"
+	MetricCache        = "tsn_svc_derive_cache_total"
+	MetricPanics       = "tsn_svc_panics_total"
+	MetricDeadlines    = "tsn_svc_deadline_exceeded_total"
+)
+
+// scrapeRegistry folds the atomic service stats into a fresh registry.
+// Built per scrape on one goroutine, so the registry's unsynchronized
+// cells are never raced.
+func (s *Service) scrapeRegistry() *metrics.Registry {
+	reg := metrics.New()
+	reg.Help(MetricRequests, "service requests finished, by route and status code")
+	s.stats.mu.Lock()
+	keys := make([][2]string, 0, len(s.stats.requests))
+	for k := range s.stats.requests {
+		keys = append(keys, k)
+	}
+	counters := make(map[[2]string]uint64, len(keys))
+	for _, k := range keys {
+		counters[k] = s.stats.requests[k].Value()
+	}
+	s.stats.mu.Unlock()
+	for k, v := range counters {
+		reg.Counter(MetricRequests, metrics.L("route", k[0]), metrics.L("code", k[1])).Add(v)
+	}
+
+	reg.Help(MetricQueueDepth, "admission queue depth (waiting requests)")
+	reg.Help(MetricQueueDepthHW, "admission queue depth high water")
+	reg.Help(MetricShed, "requests shed by admission control, by class and reason")
+	for _, q := range []*ClassQueue{s.adm.Derive, s.adm.Reconfig} {
+		l := metrics.L("class", q.name)
+		reg.Gauge(MetricQueueDepth, l).Set(q.Waiting.Value())
+		reg.Gauge(MetricQueueDepthHW, l).Set(q.DepthHW.Value())
+		reg.Counter(MetricShed, l, metrics.L("reason", "queue-full")).Add(q.ShedFull.Value())
+		reg.Counter(MetricShed, l, metrics.L("reason", "pressure")).Add(q.ShedPressure.Value())
+		reg.Counter(MetricShed, l, metrics.L("reason", "deadline")).Add(q.ShedDeadline.Value())
+	}
+
+	reg.Help(MetricBreakerState, "circuit breaker state (0 closed, 1 open, 2 half-open)")
+	reg.Gauge(MetricBreakerState).Set(int64(s.brk.State()))
+	reg.Help(MetricBreakerTrans, "circuit breaker transitions, by target state")
+	reg.Counter(MetricBreakerTrans, metrics.L("to", "open")).Add(s.brk.TransToOpen.Value())
+	reg.Counter(MetricBreakerTrans, metrics.L("to", "half-open")).Add(s.brk.TransToHalfOpen.Value())
+	reg.Counter(MetricBreakerTrans, metrics.L("to", "closed")).Add(s.brk.TransToClosed.Value())
+
+	reg.Help(MetricCache, "derivation cache lookups, by outcome")
+	reg.Counter(MetricCache, metrics.L("outcome", "hit")).Add(s.cache.Hits.Value())
+	reg.Counter(MetricCache, metrics.L("outcome", "miss")).Add(s.cache.Misses.Value())
+	reg.Counter(MetricCache, metrics.L("outcome", "bypass")).Add(s.cache.Bypasses.Value())
+	reg.Counter(MetricCache, metrics.L("outcome", "eviction")).Add(s.cache.Evictions.Value())
+
+	reg.Help(MetricPanics, "handler panics recovered")
+	reg.Counter(MetricPanics).Add(s.stats.panics.Value())
+	reg.Help(MetricDeadlines, "requests that exceeded their deadline")
+	reg.Counter(MetricDeadlines).Add(s.stats.deadlineExceeded.Value())
+	return reg
+}

@@ -1,0 +1,366 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// testWorkload is a tiny managed network that builds in milliseconds.
+func testWorkload() workload.Params {
+	return workload.Params{
+		Topology: "linear", Switches: 2, TSFlows: 4, Hops: 2,
+		WireSize: 200, SlotUs: 65, Seed: 1,
+	}
+}
+
+func newTestService(t *testing.T, opts Options) (*Service, *httptest.Server) {
+	t.Helper()
+	if opts.Workload.Topology == "" {
+		opts.Workload = testWorkload()
+	}
+	s, err := NewService(opts)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+const specBody = `{"topology":"linear","switches":3,"ts_flows":8}`
+
+func TestServiceDeriveCacheCoherence(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	url := ts.URL + "/v1/derive"
+
+	r1, b1 := postJSON(t, url, specBody, nil)
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first derive: %d %s", r1.StatusCode, b1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first derive X-Cache = %q", got)
+	}
+	var dr DeriveResponse
+	if err := json.Unmarshal(b1, &dr); err != nil {
+		t.Fatalf("bad derive body: %v", err)
+	}
+	if dr.Config.UnicastSize <= 0 || dr.MemoryKb <= 0 || len(dr.Memory) == 0 {
+		t.Fatalf("implausible derivation: %+v", dr)
+	}
+	if dr.SpecHash != r1.Header.Get("X-Spec-Hash") {
+		t.Fatal("body hash and header hash disagree")
+	}
+
+	r2, b2 := postJSON(t, url, specBody, nil)
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second derive X-Cache = %q", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached body differs from original")
+	}
+
+	// The coherence oracle's fresh path: a no-cache recompute must be
+	// byte-identical to what the cache serves.
+	r3, b3 := postJSON(t, url, specBody, map[string]string{"Cache-Control": "no-cache"})
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("fresh derive: %d %s", r3.StatusCode, b3)
+	}
+	if !bytes.Equal(b1, b3) {
+		t.Fatalf("fresh body differs from cached body:\n%s\nvs\n%s", b1, b3)
+	}
+}
+
+func TestServiceDeriveRejectsBadSpecs(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	url := ts.URL + "/v1/derive"
+	for _, c := range []struct {
+		name, body string
+	}{
+		{"malformed", `{"topology":`},
+		{"unknown topology", `{"topology":"moebius","switches":3,"ts_flows":8}`},
+		{"missing topology", `{"switches":3,"ts_flows":8}`},
+		{"too many switches", `{"topology":"linear","switches":1000,"ts_flows":8}`},
+		{"frer without bidir-ring", `{"topology":"linear","switches":3,"ts_flows":8,"frer_flows":2}`},
+	} {
+		resp, body := postJSON(t, url, c.body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", c.name, resp.StatusCode, body)
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: no error body: %s", c.name, body)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/derive?x=1", specBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("query string broke derive: %d", resp.StatusCode)
+	}
+}
+
+func TestServiceReconfigCommitAndJournal(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	live := s.Instance().LiveConfig()
+
+	grown := live.UnicastSize * 2
+	resp, body := postJSON(t, ts.URL+"/v1/reconfig",
+		`{"unicast_size":`+jsonInt(grown)+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reconfig: %d %s", resp.StatusCode, body)
+	}
+	var rr ReconfigResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Seq != 1 || rr.State != "committed" || rr.Config.UnicastSize != grown {
+		t.Fatalf("reconfig response: %+v", rr)
+	}
+
+	// The accepted transaction is observable: /v1/config carries it...
+	var cfg ConfigJSON
+	getJSON(t, ts.URL+"/v1/config", &cfg)
+	if cfg.UnicastSize != grown {
+		t.Fatalf("live config unicast_size = %d, want %d", cfg.UnicastSize, grown)
+	}
+	// ...and the journal records it as entry 1.
+	var journal []JournalEntry
+	getJSON(t, ts.URL+"/v1/journal", &journal)
+	if len(journal) != 1 || journal[0].Seq != 1 || journal[0].Config.UnicastSize != grown {
+		t.Fatalf("journal: %+v", journal)
+	}
+}
+
+func TestServiceReconfigValidationRejection(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	// Shrinking the unicast table below its live occupancy is a
+	// validation rejection: 409, and NOT a breaker failure.
+	resp, body := postJSON(t, ts.URL+"/v1/reconfig", `{"unicast_size":1}`, nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("shrink-below-occupancy: %d %s", resp.StatusCode, body)
+	}
+	if s.Breaker().State() != BreakerClosed {
+		t.Fatal("validation rejection moved the breaker")
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/reconfig", `{}`, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty delta: %d", resp.StatusCode)
+	}
+}
+
+func TestServiceWedgeTripsBreakerAndHealth(t *testing.T) {
+	s, ts := newTestService(t, Options{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	if err := s.Instance().ArmWedge(1); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Instance().LiveConfig()
+	resp, body := postJSON(t, ts.URL+"/v1/reconfig",
+		`{"unicast_size":`+jsonInt(live.UnicastSize*2)+`}`, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("wedged commit: %d %s (must NOT be 2xx — partial state)", resp.StatusCode, body)
+	}
+	// The wedge is visible: health degraded, readiness gone, breaker open.
+	hr, hb := getRaw(t, ts.URL+"/healthz")
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after wedge: %d %s", hr.StatusCode, hb)
+	}
+	rr, _ := getRaw(t, ts.URL+"/readyz")
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after wedge: %d", rr.StatusCode)
+	}
+	if s.Breaker().State() != BreakerOpen {
+		t.Fatalf("breaker = %v after wedged commit", s.Breaker().State())
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/reconfig", `{"meter_size":64}`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker admitted a reconfig: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker rejection missing Retry-After")
+	}
+}
+
+func TestServiceTransientAbsorbedByRetry(t *testing.T) {
+	s, ts := newTestService(t, Options{RetryMax: 3})
+	if err := s.Instance().ArmTransient(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	live := s.Instance().LiveConfig()
+	resp, body := postJSON(t, ts.URL+"/v1/reconfig",
+		`{"unicast_size":`+jsonInt(live.UnicastSize*2)+`}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("transient not absorbed: %d %s", resp.StatusCode, body)
+	}
+	var rr ReconfigResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two injected failures + success)", rr.Attempts)
+	}
+	if s.Breaker().State() != BreakerClosed {
+		t.Fatal("absorbed transient moved the breaker")
+	}
+}
+
+func TestServiceOverloadSheds429(t *testing.T) {
+	s, ts := newTestService(t, Options{DeriveConcurrency: 1, DeriveQueue: -1})
+	// Hold the only derive slot so the next request finds a full class
+	// with a zero wait bound — it must shed instantly, not queue.
+	release, err := s.Admission().Derive.Acquire(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/derive", specBody, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated derive: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shed took %v — shedding must be fast", elapsed)
+	}
+}
+
+func TestServiceDeadlineInQueue(t *testing.T) {
+	s, ts := newTestService(t, Options{DeriveConcurrency: 1, DeriveQueue: 4})
+	release, err := s.Admission().Derive.Acquire(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	resp, body := postJSON(t, ts.URL+"/v1/derive", specBody,
+		map[string]string{"X-Request-Deadline": "50ms"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued past deadline: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestServicePanicRecovery(t *testing.T) {
+	s, _ := newTestService(t, Options{})
+	h := s.route("boom", time.Second, func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest(http.MethodGet, "/boom", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d", rec.Code)
+	}
+	if got := s.stats.panics.Value(); got != 1 {
+		t.Fatalf("panics counter = %d", got)
+	}
+	// The process survived; a normal request still works.
+	hr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(hr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hr.Code != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", hr.Code)
+	}
+}
+
+func TestServiceHealthAndMetrics(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	hr, hb := getRaw(t, ts.URL+"/healthz")
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", hr.StatusCode, hb)
+	}
+	rr, rb := getRaw(t, ts.URL+"/readyz")
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: %d %s", rr.StatusCode, rb)
+	}
+	_, _ = postJSON(t, ts.URL+"/v1/derive", specBody, nil)
+	mr, mb := getRaw(t, ts.URL+"/metrics")
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", mr.StatusCode)
+	}
+	for _, want := range []string{
+		MetricRequests, MetricQueueDepth, MetricBreakerState, MetricCache,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+func TestServiceShutdownIdempotent(t *testing.T) {
+	s, ts := newTestService(t, Options{})
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	// Work after shutdown reports closed, not deadlock.
+	if _, err := s.Instance().Reconfigure(context.Background(), &ReconfigRequest{MeterSize: 64}); err != ErrInstanceClosed {
+		t.Fatalf("post-shutdown Reconfigure err = %v", err)
+	}
+}
+
+func getRaw(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, b := getRaw(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func jsonInt(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
