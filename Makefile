@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test short race vet lint bench bench-json bench-compare fuzz chaos examples reproduce clean
+.PHONY: all build test short race vet lint bench bench-json bench-compare fuzz chaos crash examples reproduce clean
 
 all: build vet test
 
@@ -55,12 +55,24 @@ fuzz:
 	go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/ethernet/
 	go test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/gptp/
 	go test -fuzz=FuzzParse -fuzztime=30s ./internal/faults/
+	go test -fuzz=FuzzWALReader -fuzztime=30s ./internal/wal/
 
 # chaos runs a randomized invariant-checking campaign (fixed default
 # seed — rerun with the same profile to reproduce); failing cases leave
 # minimal-repro artifacts in chaos-out/.
 chaos:
 	go run ./cmd/tsnsim -chaos default -chaos-budget 60s -chaos-out chaos-out
+
+# crash runs the fixed-seed kill-anywhere crash-recovery campaign
+# against a race-instrumented tsnserve: 50 SIGKILL/WAL-hook kill points,
+# each followed by a restart that must recover every acknowledged
+# transaction. The durable state lives in crash-state/ (kept on failure
+# for inspection, removed on a passing run).
+crash:
+	rm -rf crash-state
+	go build -race -o tsnserve.crash ./cmd/tsnserve
+	./tsnserve.crash -crash-chaos -chaos-seed 42 -crash-kills 50 -state-dir crash-state
+	rm -rf crash-state tsnserve.crash
 
 examples:
 	@for ex in quickstart ring-industrial star-production-cell \

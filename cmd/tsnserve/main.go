@@ -33,6 +33,7 @@ import (
 
 	"github.com/tsnbuilder/tsnbuilder/internal/chaos"
 	"github.com/tsnbuilder/tsnbuilder/internal/svc"
+	"github.com/tsnbuilder/tsnbuilder/internal/wal"
 	"github.com/tsnbuilder/tsnbuilder/internal/workload"
 )
 
@@ -58,11 +59,19 @@ type options struct {
 	retryMax      int
 	retryUs       int
 
+	stateDir  string
+	ckptEvery int
+
 	chaos         bool
 	chaosSeed     uint64
 	chaosRequests int
 	chaosClients  int
 	chaosBudgetS  int
+
+	crashChaos    bool
+	crashKills    int
+	crashAfterWAL int64
+	crashTorn     bool
 }
 
 func parseFlags(args []string) (*options, error) {
@@ -89,11 +98,19 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&o.retryMax, "retry-max", 3, "bounded commit retries")
 	fs.IntVar(&o.retryUs, "retry-backoff-us", 0, "commit retry backoff (µs, 0 = one CQF cycle)")
 
+	fs.StringVar(&o.stateDir, "state-dir", "", "durable state directory (WAL + checkpoints); empty = in-memory only")
+	fs.IntVar(&o.ckptEvery, "checkpoint-every", 16, "fold the journal into a checkpoint every n commits")
+
 	fs.BoolVar(&o.chaos, "chaos", false, "run the service chaos campaign instead of serving")
 	fs.Uint64Var(&o.chaosSeed, "chaos-seed", 42, "chaos campaign seed")
 	fs.IntVar(&o.chaosRequests, "chaos-requests", 200, "chaos campaign scripted requests")
 	fs.IntVar(&o.chaosClients, "chaos-clients", 8, "chaos campaign concurrent clients")
 	fs.IntVar(&o.chaosBudgetS, "chaos-budget-s", 120, "chaos campaign wall-clock budget (s)")
+
+	fs.BoolVar(&o.crashChaos, "crash-chaos", false, "run the crash-recovery chaos campaign (kill -9 + restart) instead of serving")
+	fs.IntVar(&o.crashKills, "crash-kills", 50, "crash campaign kill rounds")
+	fs.Int64Var(&o.crashAfterWAL, "crash-after-wal-writes", 0, "TESTING: exit hard after this many WAL appends (0 = off)")
+	fs.BoolVar(&o.crashTorn, "crash-torn", false, "TESTING: leave a torn WAL frame behind the armed crash")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -120,6 +137,8 @@ func (o *options) svcOptions() svc.Options {
 		BreakerCooldown:   time.Duration(o.breakerCoolMs) * time.Millisecond,
 		RetryMax:          o.retryMax,
 		RetryBackoffUs:    o.retryUs,
+		StateDir:          o.stateDir,
+		CheckpointEvery:   o.ckptEvery,
 	}
 }
 
@@ -142,6 +161,14 @@ func run(args []string) error {
 	}
 	if o.chaos {
 		return runChaos(o)
+	}
+	if o.crashChaos {
+		return runCrashChaos(o)
+	}
+	if o.crashAfterWAL > 0 {
+		// The deterministic kill point for the crash campaign's armed
+		// rounds: this life dies hard after its Nth WAL append.
+		wal.ArmCrash(o.crashAfterWAL, o.crashTorn)
 	}
 
 	s, err := svc.NewService(o.svcOptions())
@@ -214,6 +241,43 @@ func runChaos(o *options) error {
 			len(sum.Violations), len(sum.Errors))
 	}
 	fmt.Println("chaos: PASS — both service oracles held")
+	return nil
+}
+
+// runCrashChaos runs the crash-recovery campaign, re-executing this
+// very binary as the server under test so no separate build is needed.
+func runCrashChaos(o *options) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("tsnserve: resolve own binary: %w", err)
+	}
+	fmt.Printf("tsnserve: crash campaign seed=%d kills=%d\n", o.chaosSeed, o.crashKills)
+	sum, err := chaos.RunCrashCampaign(chaos.CrashOptions{
+		Seed:       o.chaosSeed,
+		Kills:      o.crashKills,
+		ServerPath: exe,
+		StateDir:   o.stateDir,
+		Budget:     time.Duration(o.chaosBudgetS) * time.Second,
+		Log: func(format string, args ...any) {
+			fmt.Printf("crash: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash: %d/%d kills (%d armed, %d torn, %d random), %d acks, %d journal entries recovered\n",
+		sum.Kills, sum.Planned, sum.ArmedKills, sum.TornKills, sum.RandomKills, sum.Accepted, sum.Recovered)
+	for _, v := range sum.Violations {
+		fmt.Printf("crash: VIOLATION %s\n", v)
+	}
+	for _, e := range sum.Errors {
+		fmt.Printf("crash: ERROR %s\n", e)
+	}
+	if sum.Failed() {
+		return fmt.Errorf("tsnserve: crash campaign failed: %d violations, %d errors (state kept at %s)",
+			len(sum.Violations), len(sum.Errors), sum.StateDir)
+	}
+	fmt.Println("crash: PASS — every acknowledged transaction survived every kill")
 	return nil
 }
 

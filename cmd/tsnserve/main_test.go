@@ -93,6 +93,69 @@ func TestServeAndSIGTERMDrain(t *testing.T) {
 	}
 }
 
+// TestStateDirSurvivesRestart is the README quickstart as a test: boot
+// with -state-dir, commit a reconfiguration, drain on SIGTERM, boot a
+// second life on the same directory and find the journal intact and
+// the committed configuration back in force.
+func TestStateDirSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	life := func(check func(base string)) {
+		addr := freePort(t)
+		sig := make(chan os.Signal, 1)
+		oldSignals := serveSignals
+		serveSignals = func() <-chan os.Signal { return sig }
+		defer func() { serveSignals = oldSignals }()
+		runErr := make(chan error, 1)
+		go func() {
+			runErr <- run([]string{"-addr", addr, "-switches", "2", "-ts-flows", "4", "-state-dir", dir})
+		}()
+		waitReady(t, "http://"+addr)
+		check("http://" + addr)
+		sig <- syscall.SIGTERM
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("run after SIGTERM: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("daemon did not drain within 30s of SIGTERM")
+		}
+	}
+
+	life(func(base string) {
+		resp, err := http.Post(base+"/v1/reconfig", "application/json",
+			strings.NewReader(`{"meter_size":64}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reconfig: %d %s", resp.StatusCode, body)
+		}
+	})
+	life(func(base string) {
+		resp, err := http.Get(base + "/v1/journal")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"seq":1`) {
+			t.Fatalf("restarted journal: %d %s", resp.StatusCode, body)
+		}
+		resp, err = http.Get(base + "/v1/config")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), `"meter_size":64`) {
+			t.Fatalf("restarted config lost the committed meter_size: %s", body)
+		}
+	})
+}
+
 // TestChaosModeSmoke runs a tiny chaos campaign through the CLI path
 // and expects a clean verdict.
 func TestChaosModeSmoke(t *testing.T) {

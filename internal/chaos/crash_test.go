@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// buildTsnserve compiles the real daemon binary the crash campaign
+// kills — the campaign's whole point is that recovery is judged across
+// process boundaries, not inside one address space.
+func buildTsnserve(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "tsnserve")
+	cmd := exec.Command("go", "build", "-o", bin, "github.com/tsnbuilder/tsnbuilder/cmd/tsnserve")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build tsnserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCrashCampaign runs a scaled-down fixed-seed kill→recover loop:
+// every armed, torn and random kill point must recover with zero
+// oracle violations. The full 50-kill campaign runs in CI via
+// `tsnserve -crash-chaos` (make crash).
+func TestCrashCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash campaign skipped in -short")
+	}
+	bin := buildTsnserve(t)
+	kills := 8
+	if os.Getenv("TSN_CRASH_FULL") != "" {
+		kills = 50
+	}
+	sum, err := RunCrashCampaign(CrashOptions{
+		Seed:       42,
+		Kills:      kills,
+		ServerPath: bin,
+		Budget:     4 * time.Minute,
+		Log:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sum.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	for _, e := range sum.Errors {
+		t.Errorf("error: %s", e)
+	}
+	if sum.Kills != kills {
+		t.Errorf("executed %d/%d kills (budget too tight?)", sum.Kills, kills)
+	}
+	// The fixed seed must exercise both kill families and the torn-tail
+	// recovery path, and the campaign must have real acks to protect.
+	if sum.ArmedKills == 0 || sum.RandomKills == 0 || sum.TornKills == 0 {
+		t.Errorf("kill mix degenerate: %d armed, %d torn, %d random",
+			sum.ArmedKills, sum.TornKills, sum.RandomKills)
+	}
+	if sum.Accepted == 0 {
+		t.Error("campaign never got a 2xx ack: oracles judged nothing")
+	}
+	if sum.Recovered == 0 {
+		t.Error("final recovery journal empty despite acks")
+	}
+	if sum.Failed() {
+		t.Fatalf("crash campaign failed (state kept at %s)", sum.StateDir)
+	}
+}

@@ -123,7 +123,19 @@ type Controller struct {
 	// immediately, the pre-retry behavior.
 	retryMax int
 	backoff  sim.Time
+
+	// onAttempt, when set, runs at the commit point of every attempt —
+	// after the attempt counter ticks, before the first staged
+	// operation applies. The durability layer hooks it to make the
+	// transaction's intent record stable before any engine state moves
+	// (the write-ahead rule).
+	onAttempt func(*Txn, int)
 }
+
+// OnAttempt registers the commit-point hook: fn(txn, attempt) runs at
+// the start of every commit attempt, before the first staged operation
+// mutates the network. One hook per controller; nil clears it.
+func (c *Controller) OnAttempt(fn func(*Txn, int)) { c.onAttempt = fn }
 
 // NewController returns a controller scheduling on engine and counting
 // into reg (nil disables instrumentation).
@@ -520,6 +532,9 @@ func (t *Txn) Commit() {
 		panic(fmt.Sprintf("reconfig: commit of %s transaction", t.state))
 	}
 	t.attempts++
+	if t.c.onAttempt != nil {
+		t.c.onAttempt(t, t.attempts)
+	}
 	for i, o := range t.ops {
 		var err error
 		fired, wedged := t.c.takeFailure(i, len(t.ops))

@@ -504,3 +504,46 @@ func TestWedgeSkipsRollbackAndRetry(t *testing.T) {
 		t.Fatalf("queue depth = %d changed by unapplied op", got)
 	}
 }
+
+// TestOnAttemptCommitPointHook: the hook fires at the start of every
+// commit attempt — before the first staged operation mutates anything —
+// once per attempt, with the attempt ordinal. The durability layer
+// relies on this ordering to make a transaction's intent record stable
+// ahead of any engine state change.
+func TestOnAttemptCommitPointHook(t *testing.T) {
+	h := newHarness(t)
+	h.ctrl.SetRetryPolicy(2, 10*sim.Microsecond)
+	cand := h.cfg
+	cand.MeterSize = 32
+	txn, err := h.ctrl.Begin(h.cfg, cand, h.bindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attempts []int
+	h.ctrl.OnAttempt(func(got *Txn, attempt int) {
+		if got != txn {
+			t.Fatal("hook saw a different transaction")
+		}
+		if got.State() != StatePrepared {
+			t.Fatalf("hook fired with state %v, want prepared (before any op applies)", got.State())
+		}
+		// At the commit point nothing may have been applied yet: the
+		// meter table must still be at its old size on every attempt.
+		if cfgErr := h.sw.Filter().Meters.Configure(16, ethernet.Mbps, 1500); cfgErr == nil {
+			t.Fatal("hook fired after a staged op applied")
+		}
+		attempts = append(attempts, attempt)
+	})
+	h.ctrl.ArmTransient(0, 1)
+	txn.CommitAt(h.engine.Now() + 1)
+	h.engine.RunUntil(txn.CommitTime() + 1)
+	for txn.State() == StatePrepared {
+		h.engine.RunUntil(txn.CommitTime() + 1)
+	}
+	if txn.State() != StateCommitted {
+		t.Fatalf("state = %v", txn.State())
+	}
+	if len(attempts) != 2 || attempts[0] != 1 || attempts[1] != 2 {
+		t.Fatalf("hook attempts = %v, want [1 2]", attempts)
+	}
+}

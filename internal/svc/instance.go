@@ -18,6 +18,9 @@ import (
 // ErrInstanceClosed marks work submitted after the instance shut down.
 var ErrInstanceClosed = errors.New("svc: instance closed")
 
+// ErrRecovering marks work refused while journal replay is running.
+var ErrRecovering = errors.New("svc: recovering: journal replay in progress")
+
 // InstanceOptions configures the managed testbed instance.
 type InstanceOptions struct {
 	// Workload selects the managed network; the zero value picks a
@@ -32,12 +35,33 @@ type InstanceOptions struct {
 	// simulation one interval so the watchdog sweeps the post-commit
 	// state before the response is written.
 	WatchdogInterval sim.Time
+	// Store/Recovered, when set, make the instance durable: accepted
+	// reconfigurations are journaled to the WAL, and the recovered
+	// image is replayed onto the fresh network before the instance
+	// reports ready.
+	Store     *durableStore
+	Recovered *recoveredImage
+	// CheckpointEvery folds the journal into a checkpoint (with WAL
+	// rotation) every n commits (default 16).
+	CheckpointEvery int
+	// OnHealth, when set, is invoked after every job with the
+	// instance's health — the service wires it into the circuit
+	// breaker so watchdog recovery de-escalates an open breaker. It
+	// must be supplied at construction: the control loop (and, on a
+	// durable instance, the replay job) starts before NewInstance
+	// returns.
+	OnHealth func(healthy bool)
+	// recoverHold, when non-nil, stalls the replay job until the
+	// channel closes — a test hook for observing the recovering state.
+	recoverHold chan struct{}
 }
 
 // JournalEntry is one committed reconfiguration: the sequence number
 // returned to the client and the configuration it put in force. The
 // journal is the accepted-then-lost oracle's ground truth — every 2xx
 // response must appear here, and the tail entry must match LiveConfig.
+// With a durable store, every entry is also fsynced to the WAL before
+// its 2xx is written, so the same oracle survives kill -9.
 type JournalEntry struct {
 	Seq    uint64     `json:"seq"`
 	Config ConfigJSON `json:"config"`
@@ -70,6 +94,10 @@ type ReconfigOutcome struct {
 	// VerifyErr is a post-commit VerifyLive failure: partial state was
 	// left in place (the wedged-commit signature).
 	VerifyErr error
+	// WALErr is a durability failure: the transaction committed in the
+	// engine but its commit record never became stable, so no ack may
+	// be sent and the instance is no longer crash-consistent.
+	WALErr error
 	// Seq/Config are set for a committed, verified transaction.
 	Seq    uint64
 	Config core.Config
@@ -83,29 +111,45 @@ type ReconfigOutcome struct {
 // deadline expires while queued is shed before anything is staged, but
 // once a commit begins it always runs to resolution — an in-flight
 // commit is never aborted.
+//
+// A durable instance additionally journals every transaction through
+// its store and starts in the recovering state: the first job on the
+// loop replays the recovered journal onto the fresh network, then
+// de-asserts recovering exactly once.
 type Instance struct {
 	net      *testbed.Net
 	reg      *metrics.Registry
 	interval sim.Time
 
+	store     *durableStore
+	ckptEvery int
+
 	jobs   chan func()
 	closed atomic.Bool
 	done   chan struct{}
+
+	// recovering is asserted from construction until the replay job
+	// completes (durable instances only); recoverEnds counts the
+	// de-assertions — exactly one, guarded by recoverOnce.
+	recovering  atomic.Bool
+	recoverOnce sync.Once
+	recoverEnds atomic.Int32
 
 	// snap is the last published registry snapshot (obs pattern: HTTP
 	// readers only ever see published copies).
 	snap atomic.Value // metrics.Snapshot
 
-	// OnHealth, when set, is invoked after every job with the
-	// instance's health — the service wires it into the circuit
-	// breaker so watchdog recovery de-escalates an open breaker.
+	// OnHealth is the health callback from InstanceOptions; read by the
+	// loop goroutine only.
 	OnHealth func(healthy bool)
 
-	mu        sync.Mutex
-	live      core.Config
-	seq       uint64
-	journal   []JournalEntry
-	verifyErr error
+	mu         sync.Mutex
+	live       core.Config
+	seq        uint64
+	journal    []JournalEntry
+	verifyErr  error
+	walErr     error
+	recoverErr error
 }
 
 // DefaultWorkload is the managed instance's fallback network.
@@ -117,12 +161,17 @@ func DefaultWorkload() workload.Params {
 }
 
 // NewInstance builds the managed network and starts its control loop.
+// A durable instance (opts.Store set) starts recovering: the replay
+// job is the first thing the loop runs, ahead of any submitted work.
 func NewInstance(opts InstanceOptions) (*Instance, error) {
 	if opts.Workload.Topology == "" {
 		opts.Workload = DefaultWorkload()
 	}
 	if opts.WatchdogInterval <= 0 {
 		opts.WatchdogInterval = sim.Millisecond
+	}
+	if opts.CheckpointEvery <= 0 {
+		opts.CheckpointEvery = 16
 	}
 	wl, err := workload.Build(opts.Workload)
 	if err != nil {
@@ -142,11 +191,28 @@ func NewInstance(opts InstanceOptions) (*Instance, error) {
 	}
 	in := &Instance{
 		net: net, reg: reg, interval: opts.WatchdogInterval,
-		jobs: make(chan func(), 64),
-		done: make(chan struct{}),
-		live: net.LiveConfig(),
+		store: opts.Store, ckptEvery: opts.CheckpointEvery,
+		jobs:     make(chan func(), 64),
+		done:     make(chan struct{}),
+		live:     net.LiveConfig(),
+		OnHealth: opts.OnHealth,
 	}
 	in.snap.Store(reg.Snapshot())
+	if in.store != nil {
+		// The write-ahead rule at the commit point: the transaction's
+		// intent record becomes stable before the first staged operation
+		// mutates the engine, on every attempt.
+		net.Reconfig.OnAttempt(func(*reconfig.Txn, int) {
+			if err := in.store.st.Sync(); err != nil {
+				in.setWALErr(err)
+			}
+		})
+		in.recovering.Store(true)
+		img, hold := opts.Recovered, opts.recoverHold
+		// Enqueued before loop starts: FIFO guarantees replay runs ahead
+		// of any job a handler could submit.
+		in.jobs <- func() { in.recoverJob(img, hold) }
+	}
 	go in.loop()
 	return in, nil
 }
@@ -191,21 +257,150 @@ func (in *Instance) submit(ctx context.Context, fn func()) error {
 	}
 }
 
-// Close drains queued jobs and stops the control loop. Call only after
-// the HTTP server has drained: the sentinel is FIFO-ordered behind any
-// queued work, so accepted jobs still resolve first.
+// Close flushes the durable store and stops the control loop. The
+// flush job and then the sentinel are FIFO-ordered behind any queued
+// work, so accepted jobs resolve, then the WAL is synced and the
+// journal checkpointed — a graceful drain and a crash converge to the
+// same recovered state. Call only after the HTTP server has drained.
 func (in *Instance) Close() {
 	if in.closed.CompareAndSwap(false, true) {
+		in.jobs <- func() { in.closeFlush() }
 		in.jobs <- nil
 	}
 	<-in.done
 }
 
+// closeFlush runs on the loop as the last real job: it makes every
+// journaled byte stable before the sentinel can possibly be observed.
+func (in *Instance) closeFlush() {
+	if in.store == nil {
+		return
+	}
+	// A clean shutdown of a consistent instance folds the journal into
+	// a fresh checkpoint; a degraded or still-recovering one just syncs
+	// what the WAL already holds — never write a snapshot we are not
+	// sure of.
+	if !in.recovering.Load() && in.walError() == nil {
+		if err := in.checkpoint(); err != nil {
+			in.setWALErr(err)
+		}
+	}
+	if err := in.store.st.Sync(); err != nil {
+		in.setWALErr(err)
+	}
+	if err := in.store.st.Close(); err != nil {
+		in.setWALErr(err)
+	}
+}
+
+// checkpoint folds the current journal into a new store generation.
+// Loop goroutine only.
+func (in *Instance) checkpoint() error {
+	in.mu.Lock()
+	seq := in.seq
+	journal := append([]JournalEntry(nil), in.journal...)
+	in.mu.Unlock()
+	return in.store.checkpoint(seq, journal)
+}
+
+// recoverJob replays the recovered journal image onto the freshly
+// built network: one transaction from the build configuration to the
+// journal tail, then the journal and sequence numbers install and the
+// instance leaves the recovering state — exactly once.
+func (in *Instance) recoverJob(img *recoveredImage, hold chan struct{}) {
+	if hold != nil {
+		<-hold
+	}
+	err := in.replay(img)
+	if err != nil {
+		in.mu.Lock()
+		in.recoverErr = err
+		in.mu.Unlock()
+	} else {
+		in.finishRecovery()
+	}
+	in.publish()
+	if in.OnHealth != nil {
+		in.OnHealth(err == nil && !in.net.Watchdog.Degraded())
+	}
+}
+
+// finishRecovery de-asserts the recovering state. Guarded so the
+// transition happens exactly once no matter how often it is called.
+func (in *Instance) finishRecovery() {
+	in.recoverOnce.Do(func() {
+		in.recovering.Store(false)
+		in.recoverEnds.Add(1)
+	})
+}
+
+// replay drives the network to the recovered journal's tail
+// configuration and installs the journal. Loop goroutine only.
+func (in *Instance) replay(img *recoveredImage) error {
+	if img != nil && len(img.Journal) > 0 {
+		tail := img.Journal[len(img.Journal)-1]
+		cand := applyJournalConfig(in.net.LiveConfig(), tail.Config)
+		if cand != in.net.LiveConfig() {
+			txn, err := in.net.Reconfigure(cand)
+			if err != nil {
+				return fmt.Errorf("svc: replay to journal tail seq %d: %w", tail.Seq, err)
+			}
+			for txn.State() == reconfig.StatePrepared {
+				in.net.Engine.RunUntil(txn.CommitTime() + 1)
+			}
+			if txn.State() != reconfig.StateCommitted {
+				return fmt.Errorf("svc: replay commit resolved %v: %w", txn.State(), txn.Err())
+			}
+			in.net.Engine.RunFor(in.interval + 1)
+			if verr := in.net.VerifyLive(); verr != nil {
+				return fmt.Errorf("svc: replay verification: %w", verr)
+			}
+		}
+		if got := ToConfigJSON(in.net.LiveConfig()); got != tail.Config {
+			return fmt.Errorf("svc: replayed live config diverges from journal tail seq %d", tail.Seq)
+		}
+	}
+	in.mu.Lock()
+	in.live = in.net.LiveConfig()
+	if img != nil {
+		in.seq = img.Seq
+		in.journal = append([]JournalEntry(nil), img.Journal...)
+	}
+	in.mu.Unlock()
+	// Fold the replayed state into a clean generation: the WAL tail is
+	// absorbed, a dangling in-flight intent is discarded for good, and
+	// the next crash replays from here.
+	if err := in.checkpoint(); err != nil {
+		return fmt.Errorf("svc: post-recovery checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Recovering reports whether journal replay is still in progress (or
+// failed — a failed replay never de-asserts).
+func (in *Instance) Recovering() bool { return in.recovering.Load() }
+
+// RecoverErr returns the replay failure, if any.
+func (in *Instance) RecoverErr() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.recoverErr
+}
+
+// RecoverTransitions returns how many times the recovering state was
+// de-asserted; the contract is exactly once for a durable instance.
+func (in *Instance) RecoverTransitions() int { return int(in.recoverEnds.Load()) }
+
 // Reconfigure runs one transactional reconfiguration against the live
 // network. It serializes onto the control loop; ctx sheds the job if
 // it is still queued at expiry, and is ignored from the moment the
-// commit begins.
+// commit begins. On a durable instance the transaction is journaled:
+// intent before validation, commit fsynced before the outcome (and
+// thus any 2xx) is returned, abort on rejection or rollback.
 func (in *Instance) Reconfigure(ctx context.Context, req *ReconfigRequest) (ReconfigOutcome, error) {
+	if in.Recovering() {
+		return ReconfigOutcome{}, ErrRecovering
+	}
 	var out ReconfigOutcome
 	err := in.submit(ctx, func() {
 		// Shed point: the deadline lapsed while queued; nothing staged.
@@ -214,9 +409,20 @@ func (in *Instance) Reconfigure(ctx context.Context, req *ReconfigRequest) (Reco
 			return
 		}
 		cand := req.Candidate(in.net.LiveConfig())
+		var txnID uint64
+		if in.store != nil {
+			txnID = in.store.takeTxn()
+			candJSON := ToConfigJSON(cand)
+			if err := in.store.append(walRecord{T: recIntent, Txn: txnID, Config: &candJSON}); err != nil {
+				out.WALErr = err
+				in.setWALErr(err)
+				return
+			}
+		}
 		txn, err := in.net.Reconfigure(cand)
 		if err != nil {
 			out.RejectErr = err
+			in.abortTxn(txnID)
 			in.publish()
 			return
 		}
@@ -235,21 +441,60 @@ func (in *Instance) Reconfigure(ctx context.Context, req *ReconfigRequest) (Reco
 		out.VerifyErr = in.net.VerifyLive()
 		out.Config = in.net.LiveConfig()
 
+		committed := out.State == reconfig.StateCommitted && out.VerifyErr == nil
+		if in.store != nil {
+			if committed {
+				cfgJSON := ToConfigJSON(out.Config)
+				// in.seq is only ever written on this goroutine; the
+				// unlocked read is ordered by program order.
+				rec := walRecord{T: recCommit, Txn: txnID, Seq: in.seq + 1, Config: &cfgJSON}
+				if err := in.store.appendSync(rec); err != nil {
+					// The engine committed but durability failed: the ack
+					// must not be sent, and the instance is degraded until
+					// an operator intervenes.
+					out.WALErr = err
+					in.setWALErr(err)
+				}
+			} else {
+				in.abortTxn(txnID)
+			}
+		}
+
 		in.mu.Lock()
 		in.live = out.Config
 		in.verifyErr = out.VerifyErr
-		if out.State == reconfig.StateCommitted && out.VerifyErr == nil {
+		if committed && out.WALErr == nil {
 			in.seq++
 			out.Seq = in.seq
 			in.journal = append(in.journal, JournalEntry{Seq: in.seq, Config: ToConfigJSON(out.Config)})
 		}
+		seq := in.seq
 		in.mu.Unlock()
+		if committed && out.WALErr == nil && in.store != nil && seq%uint64(in.ckptEvery) == 0 {
+			if err := in.checkpoint(); err != nil {
+				in.setWALErr(err)
+			}
+		}
 		in.publish()
 		if in.OnHealth != nil {
 			in.OnHealth(out.VerifyErr == nil && !in.net.Watchdog.Degraded())
 		}
 	})
 	return out, err
+}
+
+// abortTxn journals a transaction's abort record (durable instances
+// only). Unsynced by design: an abort that a crash loses replays as
+// the same fully-absent transaction.
+func (in *Instance) abortTxn(txnID uint64) {
+	if in.store == nil {
+		return
+	}
+	if err := in.store.append(walRecord{T: recAbort, Txn: txnID}); err != nil {
+		// A lost abort record leaves a dangling interior intent for the
+		// next recovery to trip over; surface the degradation now.
+		in.setWALErr(err)
+	}
 }
 
 // Advance runs the simulated network forward by d (watchdog audits
@@ -288,16 +533,40 @@ func (in *Instance) MetricsSnapshot() metrics.Snapshot {
 }
 
 // Health returns the live health board (watchdog-written, mutex-
-// guarded, safe from any goroutine).
+// guarded, safe from any goroutine). A durability or replay failure
+// degrades the instance like a wedged commit does.
 func (in *Instance) Health() (degraded bool, detail string) {
 	d, detail, _, _ := in.net.Health.Status()
-	return d || in.verifyError() != nil, detail
+	in.mu.Lock()
+	verifyErr, walErr, recoverErr := in.verifyErr, in.walErr, in.recoverErr
+	in.mu.Unlock()
+	switch {
+	case recoverErr != nil && detail == "":
+		detail = "recovery failed: " + recoverErr.Error()
+	case walErr != nil && detail == "":
+		detail = "durability failed: " + walErr.Error()
+	}
+	return d || verifyErr != nil || walErr != nil || recoverErr != nil, detail
 }
 
 func (in *Instance) verifyError() error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.verifyErr
+}
+
+func (in *Instance) walError() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.walErr
+}
+
+func (in *Instance) setWALErr(err error) {
+	in.mu.Lock()
+	if in.walErr == nil {
+		in.walErr = err
+	}
+	in.mu.Unlock()
 }
 
 // Status copies the control state.
@@ -310,7 +579,7 @@ func (in *Instance) Status() InstanceStatus {
 		Seq:       in.seq,
 		Journal:   append([]JournalEntry(nil), in.journal...),
 		VerifyErr: in.verifyErr,
-		Degraded:  degraded || in.verifyErr != nil,
+		Degraded:  degraded || in.verifyErr != nil || in.walErr != nil || in.recoverErr != nil,
 		Detail:    detail,
 	}
 }

@@ -65,6 +65,19 @@ type Options struct {
 	// bounded commit retry (default 3 retries, engine-default backoff).
 	RetryMax       int
 	RetryBackoffUs int
+	// StateDir, when set, makes the control plane crash-consistent:
+	// accepted reconfigurations journal through a WAL in this directory
+	// and the instance replays them on startup (/readyz reports
+	// "recovering" until the replay lands). Empty keeps the original
+	// purely in-memory behavior.
+	StateDir string
+	// CheckpointEvery folds the journal into a checkpoint (rotating the
+	// WAL) every n commits (default 16). Only meaningful with StateDir.
+	CheckpointEvery int
+	// recoverHold, when non-nil, stalls journal replay until the channel
+	// closes — an in-package test hook for observing the recovering
+	// window deterministically.
+	recoverHold chan struct{}
 }
 
 func (o *Options) defaults() {
@@ -148,13 +161,41 @@ func (s *stats) request(route string, code int) {
 }
 
 // NewService builds the control plane and starts the managed instance.
+// With Options.StateDir set it first opens the durable store and
+// replays checkpoint + WAL tail; corrupt or mismatched state refuses to
+// serve rather than serving a journal it cannot trust.
 func NewService(opts Options) (*Service, error) {
 	opts.defaults()
-	inst, err := NewInstance(InstanceOptions{
-		Workload:     opts.Workload,
-		RetryMax:     opts.RetryMax,
-		RetryBackoff: sim.Time(opts.RetryBackoffUs) * sim.Microsecond,
-	})
+	if opts.Workload.Topology == "" {
+		// Resolve the default here so the durable state's workload hash
+		// matches what the instance will actually build.
+		opts.Workload = DefaultWorkload()
+	}
+	brk := NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	iopts := InstanceOptions{
+		Workload:        opts.Workload,
+		RetryMax:        opts.RetryMax,
+		RetryBackoff:    sim.Time(opts.RetryBackoffUs) * sim.Microsecond,
+		CheckpointEvery: opts.CheckpointEvery,
+		recoverHold:     opts.recoverHold,
+		// Watchdog recovery de-escalates the breaker: a healthy outcome
+		// resets it; failures count only through the explicit Failure
+		// calls on commit outcomes. Wired at construction because a
+		// durable instance's replay job runs before NewInstance returns.
+		OnHealth: func(healthy bool) {
+			if healthy && brk.State() != BreakerClosed {
+				brk.Success()
+			}
+		},
+	}
+	if opts.StateDir != "" {
+		store, img, err := openDurable(opts.StateDir, workloadHash(opts.Workload))
+		if err != nil {
+			return nil, err
+		}
+		iopts.Store, iopts.Recovered = store, img
+	}
+	inst, err := NewInstance(iopts)
 	if err != nil {
 		return nil, err
 	}
@@ -163,18 +204,10 @@ func NewService(opts Options) (*Service, error) {
 		inst:    inst,
 		cache:   NewCache(opts.CacheSize),
 		adm:     NewAdmission(opts.DeriveConcurrency, opts.DeriveQueue, opts.ReconfigQueue),
-		brk:     NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown),
+		brk:     brk,
 		stats:   newStats(),
 		mux:     http.NewServeMux(),
 		closing: make(chan struct{}),
-	}
-	// Watchdog recovery de-escalates the breaker: a healthy outcome
-	// resets it, an unhealthy one counts as a failure streak member
-	// only through the explicit Failure calls on commit outcomes.
-	inst.OnHealth = func(healthy bool) {
-		if healthy && s.brk.State() != BreakerClosed {
-			s.brk.Success()
-		}
 	}
 	s.httpSrv = &http.Server{Handler: s.mux}
 	s.mux.HandleFunc("/v1/derive", s.route("derive", s.opts.DeriveDeadline, s.handleDerive))
@@ -405,9 +438,12 @@ func (s *Service) handleReconfig(w http.ResponseWriter, r *http.Request) {
 	out, err := s.inst.Reconfigure(r.Context(), &req)
 	switch {
 	case err != nil:
-		if errors.Is(err, ErrInstanceClosed) {
+		switch {
+		case errors.Is(err, ErrInstanceClosed):
 			writeError(w, http.StatusServiceUnavailable, "instance shutting down")
-		} else {
+		case errors.Is(err, ErrRecovering):
+			writeError(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+		default:
 			s.stats.deadlineExceeded.Inc()
 			writeError(w, http.StatusGatewayTimeout, "deadline expired before commit started")
 		}
@@ -427,6 +463,15 @@ func (s *Service) handleReconfig(w http.ResponseWriter, r *http.Request) {
 		s.brk.Failure()
 		writeError(w, http.StatusInternalServerError,
 			"post-commit verification failed: "+out.VerifyErr.Error())
+		return
+	case out.WALErr != nil:
+		// The commit record never became durable: the ack contract (2xx
+		// implies crash-survivable) cannot be met, so this is a failure
+		// even though the engine committed. The instance degrades until
+		// an operator intervenes.
+		s.brk.Failure()
+		writeError(w, http.StatusInternalServerError,
+			"commit not durable: "+out.WALErr.Error())
 		return
 	case out.State == reconfig.StateRolledBack:
 		s.brk.Failure()
@@ -449,14 +494,24 @@ func (s *Service) handleReconfig(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleConfig serves GET /v1/config: the configuration in force.
+// handleConfig serves GET /v1/config: the configuration in force. While
+// journal replay is still running the in-force configuration is not yet
+// known, so the endpoint refuses rather than answering stale.
 func (s *Service) handleConfig(w http.ResponseWriter, _ *http.Request) {
+	if s.inst.Recovering() {
+		writeError(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+		return
+	}
 	writeJSON(w, http.StatusOK, ToConfigJSON(s.inst.LiveConfig()))
 }
 
 // handleJournal serves GET /v1/journal: the committed-transaction
 // journal (the accepted-then-lost oracle's ground truth).
 func (s *Service) handleJournal(w http.ResponseWriter, _ *http.Request) {
+	if s.inst.Recovering() {
+		writeError(w, http.StatusServiceUnavailable, "recovering: journal replay in progress")
+		return
+	}
 	st := s.inst.Status()
 	if st.Journal == nil {
 		st.Journal = []JournalEntry{}
@@ -485,10 +540,24 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, code, body)
 }
 
-// handleReadyz serves readiness: ready to take traffic means the
-// instance is healthy, the breaker is not open, and the reconfig queue
-// has room.
+// handleReadyz serves readiness: ready to take traffic means journal
+// replay has finished, the instance is healthy, the breaker is not
+// open, and the reconfig queue has room. The recovering window gets its
+// own distinct status so orchestrators and the crash campaign can tell
+// "still replaying" from ordinary unreadiness.
 func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.inst.Recovering() {
+		body := map[string]any{
+			"ready":   false,
+			"status":  "recovering",
+			"reasons": []string{"journal replay in progress"},
+		}
+		if err := s.inst.RecoverErr(); err != nil {
+			body["reasons"] = []string{"journal replay failed: " + err.Error()}
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
 	degraded, _ := s.inst.Health()
 	reasons := []string{}
 	if degraded {

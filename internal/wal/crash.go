@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// The crash hook is the chaos campaign's deterministic kill point: a
+// subprocess armed via ArmCrash dies hard — os.Exit, no deferred
+// cleanup, no final sync — immediately after its Nth WAL append, so a
+// fixed seed hits every offset of the intent → commit path (after the
+// intent record, between intent and commit, after the commit record
+// but before its fsync). With torn set, the process additionally
+// writes a deliberately incomplete frame first, exercising the
+// torn-tail truncation rule on recovery.
+//
+// The hook is process-global and test-only by construction: a serving
+// control plane never arms it.
+var (
+	crashAfter atomic.Int64 // remaining appends before the crash; 0 = disarmed
+	crashTorn  atomic.Bool
+)
+
+// CrashExitCode is the armed crash's exit code, chosen to look like a
+// SIGKILL'd process to the campaign driver.
+const CrashExitCode = 137
+
+// ArmCrash arms the process to exit hard after n more WAL appends
+// (n <= 0 disarms). With torn set, a partial frame — a valid header
+// whose payload is cut short — is written before the exit.
+func ArmCrash(n int64, torn bool) {
+	if n <= 0 {
+		crashAfter.Store(0)
+		crashTorn.Store(false)
+		return
+	}
+	crashAfter.Store(n)
+	crashTorn.Store(torn)
+}
+
+// crashStep counts one append against the armed crash point.
+func crashStep(f *os.File) {
+	if crashAfter.Load() == 0 {
+		return
+	}
+	if crashAfter.Add(-1) != 0 {
+		return
+	}
+	if crashTorn.Load() {
+		// A frame header promising 64 payload bytes, followed by only a
+		// few: recovery must truncate here, never error.
+		torn := AppendFrame(nil, make([]byte, 64))[:headerSize+5]
+		_, _ = f.Write(torn)
+	}
+	os.Exit(CrashExitCode)
+}

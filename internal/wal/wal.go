@@ -1,0 +1,200 @@
+// Package wal is the durability layer under the TSN-as-a-Service
+// control plane: a length-prefixed, CRC32C-framed write-ahead log plus
+// a generation-rotated directory store with atomically-renamed
+// checkpoints.
+//
+// The framing rule set is small and deliberate:
+//
+//   - every record is [4-byte LE payload length][4-byte LE CRC32C of
+//     the payload][payload], appended with a single write;
+//   - a *torn tail* — the incomplete final frame a crash mid-append
+//     leaves behind — is silently truncated at the last complete
+//     record: a partial header, a payload shorter than its length
+//     prefix, or a checksum mismatch on the frame that ends exactly at
+//     end-of-file all count as torn;
+//   - *interior* corruption — a frame whose checksum fails (or whose
+//     length prefix is implausible) while more bytes follow it — is a
+//     loud, typed *CorruptError: it means a committed record rotted or
+//     was overwritten, and recovery must never silently drop committed
+//     state.
+//
+// Appends are buffered by the OS; Sync is the commit point. The
+// contract callers build on: a record is durable once Sync returned,
+// and every record before a durable record is durable too (frames are
+// strictly sequential).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// headerSize is the per-record frame overhead: length + CRC32C.
+const headerSize = 8
+
+// MaxRecord bounds a single record's payload. Control-plane records
+// are small JSON documents; anything near this bound in a frame header
+// is corruption, not data.
+const MaxRecord = 16 << 20
+
+// castagnoli is the CRC32C polynomial table (the iSCSI/ext4 one —
+// hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError reports interior corruption: a record that was once
+// committed no longer checks out, with valid bytes following it. It is
+// never returned for a torn tail.
+type CorruptError struct {
+	// Offset is the byte offset of the corrupt frame.
+	Offset int64
+	// Reason describes what failed (checksum, length prefix).
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: interior corruption at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Scan parses every complete record out of data. It returns the
+// records, the byte length of the valid prefix (the torn-tail
+// truncation point), and a *CorruptError if a non-final frame fails
+// validation. On error, records and valid still describe the trusted
+// prefix before the corrupt frame.
+func Scan(data []byte) (records [][]byte, valid int64, err error) {
+	size := int64(len(data))
+	var off int64
+	for {
+		rest := size - off
+		if rest == 0 {
+			return records, off, nil
+		}
+		if rest < headerSize {
+			// Crash mid-header: the length prefix itself is incomplete.
+			return records, off, nil
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if length > MaxRecord {
+			// A full header is written atomically before any payload
+			// byte, so an implausible length was never written by us —
+			// the header itself rotted.
+			return records, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("frame length %d exceeds maximum %d", length, MaxRecord)}
+		}
+		end := off + headerSize + length
+		if end > size {
+			// Crash mid-payload: the frame claims more bytes than exist.
+			return records, off, nil
+		}
+		payload := data[off+headerSize : end]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			if end == size {
+				// The final frame is fully present but its bytes are not
+				// what the checksum covers — a torn tail write.
+				return records, off, nil
+			}
+			return records, off, &CorruptError{Offset: off, Reason: fmt.Sprintf("checksum mismatch (stored %08x, computed %08x)", want, got)}
+		}
+		records = append(records, append([]byte(nil), payload...))
+		off = end
+	}
+}
+
+// ReadFile scans the log at path. A missing file reads as empty. The
+// returned valid offset is where an appender must truncate to before
+// writing (the torn-tail rule).
+func ReadFile(path string) (records [][]byte, valid int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	return Scan(data)
+}
+
+// AppendFrame appends one framed record to buf and returns the
+// extended slice — the encoding side of Scan, exported so tests and
+// fuzzers build corpora with the real framer.
+func AppendFrame(buf, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// Writer appends framed records to one log file. It is not
+// goroutine-safe: the control plane serializes all writes through its
+// single-writer loop, and the zero-alloc frame buffer is reused across
+// appends.
+type Writer struct {
+	f   *os.File
+	off int64
+	buf []byte
+}
+
+// OpenWriter opens (or creates) the log at path for appending: it
+// scans the existing contents, truncates a torn tail, and positions
+// the writer after the last valid record. The recovered records are
+// returned so one open both replays and resumes. Interior corruption
+// fails the open.
+func OpenWriter(path string) (*Writer, [][]byte, error) {
+	records, valid, err := ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return &Writer{f: f, off: valid}, records, nil
+}
+
+// Append frames payload and writes it. The record is durable only
+// after the next Sync; the torn-tail rule makes an unsynced (or
+// half-written) append invisible to recovery.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds maximum %d", len(payload), MaxRecord)
+	}
+	w.buf = AppendFrame(w.buf[:0], payload)
+	n, err := w.f.Write(w.buf)
+	w.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	crashStep(w.f)
+	return nil
+}
+
+// Sync flushes the log to stable storage — the commit point.
+func (w *Writer) Sync() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Offset returns the current end of the valid log in bytes.
+func (w *Writer) Offset() int64 { return w.off }
+
+// Close syncs and closes the log.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("wal: close sync: %w", err)
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRecords(t *testing.T, path string, payloads ...[]byte) {
+	t.Helper()
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frames(payloads ...[]byte) []byte {
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	return buf
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, recovered, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recovered))
+	}
+	want := [][]byte{[]byte("one"), []byte(""), bytes.Repeat([]byte{0xAB}, 4096)}
+	for _, p := range want {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, valid, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	if valid != info.Size() {
+		t.Fatalf("valid %d != file size %d", valid, info.Size())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTornTails drops every possible number of trailing bytes off a
+// three-record log: whatever survives whole must be recovered, the
+// torn remainder silently truncated, never an error.
+func TestWALTornTails(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), []byte("beta-beta"), []byte("gamma")}
+	full := frames(payloads...)
+	bounds := []int64{0}
+	var off int64
+	for _, p := range payloads {
+		off += int64(headerSize + len(p))
+		bounds = append(bounds, off)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		records, valid, err := Scan(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: torn tail surfaced as error: %v", cut, err)
+		}
+		wantWhole := 0
+		for _, b := range bounds[1:] {
+			if int64(cut) >= b {
+				wantWhole++
+			}
+		}
+		if len(records) != wantWhole {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(records), wantWhole)
+		}
+		if valid != bounds[wantWhole] {
+			t.Fatalf("cut %d: valid %d, want %d", cut, valid, bounds[wantWhole])
+		}
+	}
+}
+
+// TestWALInteriorCorruption flips one byte in every position of the
+// first record's frame while a second record follows: every flip must
+// surface as *CorruptError, never as silent truncation of the second,
+// still-committed record.
+func TestWALInteriorCorruption(t *testing.T) {
+	full := frames([]byte("committed-first"), []byte("committed-second"))
+	firstLen := headerSize + len("committed-first")
+	for pos := 0; pos < firstLen; pos++ {
+		data := append([]byte(nil), full...)
+		data[pos] ^= 0x40
+		records, _, err := Scan(data)
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			// One escape hatch: a flip in the length prefix can make the
+			// first frame swallow the file exactly to EOF, which is
+			// indistinguishable from a torn tail — but then nothing after
+			// the corruption may be returned as valid.
+			if err == nil && len(records) == 0 {
+				continue
+			}
+			t.Fatalf("flip at %d: err = %v, records = %d — interior corruption not loud", pos, err, len(records))
+		}
+		if len(records) != 0 {
+			t.Fatalf("flip at %d: %d records recovered past corruption", pos, len(records))
+		}
+	}
+}
+
+// TestWALTornFinalChecksum: a final frame fully present but with
+// mangled payload bytes is a torn tail (crash mid-payload), not
+// interior corruption.
+func TestWALTornFinalChecksum(t *testing.T) {
+	full := frames([]byte("keep"), []byte("torn-me"))
+	data := append([]byte(nil), full...)
+	data[len(data)-1] ^= 0xFF
+	records, valid, err := Scan(data)
+	if err != nil {
+		t.Fatalf("torn final frame errored: %v", err)
+	}
+	if len(records) != 1 || string(records[0]) != "keep" {
+		t.Fatalf("recovered %q", records)
+	}
+	if valid != int64(headerSize+len("keep")) {
+		t.Fatalf("valid = %d", valid)
+	}
+}
+
+func TestWALImplausibleLengthIsLoud(t *testing.T) {
+	data := frames([]byte("good"))
+	var hdr [headerSize]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0x7F // ~2 GiB length
+	data = append(data, hdr[:]...)
+	data = append(data, bytes.Repeat([]byte("x"), 64)...)
+	records, valid, err := Scan(data)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("implausible length: err = %v", err)
+	}
+	if len(records) != 1 || valid != int64(headerSize+len("good")) {
+		t.Fatalf("prefix not preserved: %d records, valid %d", len(records), valid)
+	}
+}
+
+// TestWALOpenWriterTruncatesTorn: reopening a log with a torn tail
+// resumes exactly after the last whole record, and the resumed log
+// reads back clean.
+func TestWALOpenWriterTruncatesTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	torn := frames([]byte("first"), []byte("second"))
+	torn = append(torn, frames([]byte("half-written"))[:headerSize+3]...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, recovered, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d records", len(recovered))
+	}
+	if err := w.Append([]byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || string(records[2]) != "third" {
+		t.Fatalf("resumed log reads %q", records)
+	}
+}
+
+func TestWALOpenWriterRejectsInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	data := frames([]byte("aaaa"), []byte("bbbb"))
+	data[headerSize] ^= 0x01 // first record's payload, second still follows
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWriter(path); err == nil {
+		t.Fatal("interior corruption accepted by OpenWriter")
+	}
+}
+
+func TestStoreCheckpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, rec, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh store recovered %+v", rec)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint([]byte("snapshot-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append([]byte("tail-0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if string(rec2.Checkpoint) != "snapshot-1" {
+		t.Fatalf("checkpoint = %q", rec2.Checkpoint)
+	}
+	if len(rec2.Records) != 1 || string(rec2.Records[0]) != "tail-0" {
+		t.Fatalf("wal tail = %q", rec2.Records)
+	}
+	if s2.Gen() != 2 {
+		t.Fatalf("generation = %d", s2.Gen())
+	}
+	// The superseded generation is gone.
+	if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
+		t.Fatal("wal-1.log survived rotation")
+	}
+}
+
+// TestStoreRecoversMidRotationCrash simulates the crash window between
+// the checkpoint rename and the new WAL creation: the new checkpoint
+// exists, the new WAL does not, and the old generation's files linger.
+func TestStoreRecoversMidRotationCrash(t *testing.T) {
+	dir := t.TempDir()
+	// Old generation: checkpoint-1 + wal-1 with records the new
+	// checkpoint has absorbed.
+	ck1, err := os.Create(filepath.Join(dir, checkpointName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck1.Write(frames([]byte("old-snapshot")))
+	ck1.Close()
+	writeRecords(t, filepath.Join(dir, walName(1)), []byte("absorbed"))
+	// New generation: checkpoint-2 renamed into place, wal-2 never made.
+	ck2, err := os.Create(filepath.Join(dir, checkpointName(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2.Write(frames([]byte("new-snapshot")))
+	ck2.Close()
+	// Plus a stranded temp from an even later, unrenamed attempt.
+	os.WriteFile(filepath.Join(dir, checkpointName(3)+tmpSuffix), []byte("junk"), 0o644)
+
+	s, rec, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if string(rec.Checkpoint) != "new-snapshot" {
+		t.Fatalf("recovered checkpoint %q", rec.Checkpoint)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("recovered stale wal records %q", rec.Records)
+	}
+	for _, stale := range []string{walName(1), checkpointName(1), checkpointName(3) + tmpSuffix} {
+		if _, err := os.Stat(filepath.Join(dir, stale)); !os.IsNotExist(err) {
+			t.Fatalf("stale file %s survived recovery", stale)
+		}
+	}
+}
+
+func TestStoreRejectsCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	data := frames([]byte("snapshot"))
+	data[headerSize+2] ^= 0x10
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(1)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(dir); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestWriterRejectsOversizeRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, _, err := OpenWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "wal.log")
+	w, _, err := OpenWriter(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	payload := bytes.Repeat([]byte("x"), 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
