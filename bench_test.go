@@ -10,6 +10,7 @@
 package bench
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
@@ -232,6 +233,32 @@ func BenchmarkThresholdStudy(b *testing.B) {
 			break
 		}
 	}
+}
+
+// BenchmarkPartitionedRun measures the partitioned parallel simulator
+// on the 210-switch mesh at 1/2/4/8 partitions: events/sec per
+// partition count plus the 4-partition speedup over the serial engine.
+// The study itself enforces parity (identical event/delivery/latency
+// totals at every partition count) and fails the bench if it breaks.
+// Speedup tracks available cores: on a single-core host the partition
+// counts measure synchronization overhead only.
+func BenchmarkPartitionedRun(b *testing.B) {
+	p := params()
+	var rows []experiments.ScaleRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ScaleStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.EventsPerSec, fmt.Sprintf("p%d_ev/s", r.Partitions))
+		if r.Partitions == 4 {
+			b.ReportMetric(r.Speedup, "speedup_4p")
+		}
+	}
+	b.ReportMetric(float64(rows[0].Events), "events")
 }
 
 // BenchmarkTASvsCQF runs the gate-mechanism ablation: synthesized

@@ -50,6 +50,33 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseBestOfN(t *testing.T) {
+	// -count=3 style repeats collapse to the fastest whole record —
+	// the slow middle sample's custom metrics must not leak through.
+	doc, err := Parse(strings.NewReader(`
+BenchmarkX-8   100   300.0 ns/op   5 B/op   1 allocs/op   7.0 mean_µs
+BenchmarkX-8   100   500.0 ns/op   9 B/op   2 allocs/op   9.0 mean_µs
+BenchmarkX-8   200   250.0 ns/op   4 B/op   1 allocs/op   6.5 mean_µs
+BenchmarkY-8   100   100.0 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("want 2 collapsed benchmarks, got %+v", doc.Benchmarks)
+	}
+	x := doc.Benchmarks[0]
+	if x.Name != "BenchmarkX-8" || x.Iterations != 200 {
+		t.Errorf("kept wrong sample: %+v", x)
+	}
+	if x.Metrics["ns/op"] != 250 || x.Metrics["B/op"] != 4 || x.Metrics["mean_µs"] != 6.5 {
+		t.Errorf("metrics not from the fastest sample: %+v", x.Metrics)
+	}
+	if doc.Benchmarks[1].Name != "BenchmarkY-8" {
+		t.Errorf("single-sample benchmark lost: %+v", doc.Benchmarks[1])
+	}
+}
+
 func TestParseIgnoresNoise(t *testing.T) {
 	doc, err := Parse(strings.NewReader("hello\nBenchmark\nBenchmarkX notanumber\n"))
 	if err != nil {

@@ -6,7 +6,7 @@
 //	tsnbench -exp all -parallel 1  # force fully serial sweeps
 //
 // Experiments: table1, fig2, table3, fig7a, fig7b, fig7c, fig7d, qos,
-// sync, itp, platform, all.
+// sync, itp, scale, platform, all.
 //
 // Sweep points (independent build-and-run simulations) fan out on a
 // worker pool sized by -parallel (default GOMAXPROCS). Output is
@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate platform all)")
+		exp      = flag.String("exp", "all", "experiment id (table1 fig2 table3 fig7a fig7b fig7c fig7d qos sync itp tas threshold sms desync deadline cbs preempt rate scale platform all)")
 		short    = flag.Bool("short", false, "reduced workload for quick runs")
 		seed     = flag.Uint64("seed", 42, "workload seed")
 		csvDir   = flag.String("csv", "", "also write each latency series as CSV into this directory")
@@ -301,6 +301,15 @@ func run(exp string, p experiments.Params) error {
 			return err
 		}
 		fmt.Print(experiments.FormatRate(rows))
+		fmt.Println()
+	}
+	if all || exp == "scale" {
+		did = true
+		rows, err := experiments.ScaleStudy(p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatScale(rows))
 		fmt.Println()
 	}
 	if all || exp == "platform" {

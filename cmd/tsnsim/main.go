@@ -69,11 +69,12 @@ type runOpts struct {
 	metricsJSON bool
 	traceJSON   string
 	progress    time.Duration
+	partitions  int
 }
 
 func main() {
 	var o runOpts
-	flag.StringVar(&o.topo, "topology", "ring", "topology: star, ring, bidir-ring, linear or tree")
+	flag.StringVar(&o.topo, "topology", "ring", "topology: star, ring, bidir-ring, linear, tree, mesh or fattree")
 	flag.IntVar(&o.switches, "switches", 6, "switch count (ring/linear); star children = switches-1")
 	flag.IntVar(&o.flows, "flows", 1024, "TS flow count")
 	flag.IntVar(&o.hops, "hops", 3, "switches each TS flow traverses")
@@ -100,6 +101,7 @@ func main() {
 	flag.BoolVar(&o.metricsJSON, "metrics-json", false, "export -metrics as JSON instead of Prometheus text")
 	flag.StringVar(&o.traceJSON, "trace-json", "", "write the packet trace as Chrome trace-event JSON to this file")
 	flag.DurationVar(&o.progress, "progress", 0, "print progress to stderr at this wall-clock interval (e.g. 2s)")
+	flag.IntVar(&o.partitions, "partitions", 0, "shard the topology across this many parallel engines (conservative lookahead; results byte-identical to serial, needs -no-gptp)")
 	var co chaosOpts
 	flag.StringVar(&co.profile, "chaos", "", "run a chaos campaign from this profile JSON ('default' for the built-in profile) instead of one simulation")
 	flag.IntVar(&co.runs, "chaos-runs", 0, "override the profile's case count")
@@ -382,7 +384,42 @@ func writeCSV(net *testbed.Net, path string) error {
 	return w.Error()
 }
 
+// validatePartitions rejects flag combinations a partitioned run
+// cannot honor: features the testbed refuses to shard, plus the
+// single-engine conveniences (progress, deadline guard, live serving)
+// that hook the one serial engine.
+func validatePartitions(o runOpts, pcapOut io.Writer) error {
+	if o.partitions <= 1 {
+		return nil
+	}
+	reasons := []struct {
+		bad  bool
+		flag string
+	}{
+		{o.gptp, "-partitions needs -no-gptp (clock sync spans partitions)"},
+		{o.frer > 0, "-frer is not supported with -partitions"},
+		{o.watchdog, "-watchdog is not supported with -partitions"},
+		{o.faults != "", "-faults is not supported with -partitions"},
+		{o.reconfig != "", "-reconfig is not supported with -partitions"},
+		{o.serve != "", "-serve is not supported with -partitions"},
+		{o.progress > 0, "-progress is not supported with -partitions"},
+		{o.deadline > 0, "-deadline is not supported with -partitions"},
+		{o.hotspots, "-hotspots is not supported with -partitions"},
+		{o.traceJSON != "", "-trace-json is not supported with -partitions"},
+		{pcapOut != nil, "-pcap is not supported with -partitions"},
+	}
+	for _, r := range reasons {
+		if r.bad {
+			return fmt.Errorf("%s", r.flag)
+		}
+	}
+	return nil
+}
+
 func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
+	if err := validatePartitions(o, pcapOut); err != nil {
+		return nil, err
+	}
 	wl, err := workload.Build(workload.Params{
 		Topology: o.topo, Switches: o.switches,
 		TSFlows: o.flows, Hops: o.hops, WireSize: o.size,
@@ -417,6 +454,7 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 		Metrics:        reg,
 		Faults:         scenario,
 		EnableWatchdog: o.watchdog,
+		Partitions:     o.partitions,
 	})
 	if err != nil {
 		return nil, err
@@ -466,6 +504,10 @@ func run(o runOpts, pcapOut io.Writer) (*testbed.Net, error) {
 	}
 	fmt.Printf("running %s/%d: %d TS flows (%dB, %d hops), rc=%dMbps be=%dMbps, slot=%dµs, gptp=%v\n",
 		o.topo, n, o.flows, o.size, o.hops, o.rcMbps, o.beMbps, o.slotUs, o.gptp)
+	if net.Partitions() > 1 {
+		fmt.Printf("partitions: %d parallel engines, lookahead window %v\n",
+			net.Partitions(), net.LookaheadWindow())
+	}
 	wallStart := time.Now()
 	net.Run(warmup, sim.Time(o.durMs)*sim.Millisecond)
 	wall := time.Since(wallStart)

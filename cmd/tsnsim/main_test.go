@@ -44,9 +44,47 @@ func TestRunLinear(t *testing.T) {
 	}
 }
 
+func TestRunPartitioned(t *testing.T) {
+	o := baseOpts()
+	o.partitions, o.rcMbps = 3, 30
+	net, err := run(o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Partitions() != 3 {
+		t.Fatalf("ran on %d partitions, want 3", net.Partitions())
+	}
+}
+
+func TestPartitionsRejectUnshardableFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*runOpts)
+	}{
+		{"gptp", func(o *runOpts) { o.gptp = true }},
+		{"frer", func(o *runOpts) { o.topo, o.frer = "bidir-ring", 2 }},
+		{"watchdog", func(o *runOpts) { o.watchdog = true }},
+		{"faults", func(o *runOpts) { o.faults = "x.json" }},
+		{"reconfig", func(o *runOpts) { o.reconfig = "x.json" }},
+		{"serve", func(o *runOpts) { o.serve = ":0" }},
+		{"progress", func(o *runOpts) { o.progress = 1 }},
+		{"deadline", func(o *runOpts) { o.deadline = 1 }},
+		{"hotspots", func(o *runOpts) { o.hotspots = true }},
+		{"trace-json", func(o *runOpts) { o.traceJSON = "x.json" }},
+	}
+	for _, tc := range cases {
+		o := baseOpts()
+		o.partitions = 2
+		tc.mut(&o)
+		if _, err := run(o, nil); err == nil {
+			t.Errorf("%s: accepted with -partitions", tc.name)
+		}
+	}
+}
+
 func TestRunUnknownTopology(t *testing.T) {
 	o := baseOpts()
-	o.topo = "mesh"
+	o.topo = "moebius"
 	if _, err := run(o, nil); err == nil {
 		t.Fatal("unknown topology accepted")
 	}

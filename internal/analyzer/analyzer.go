@@ -86,18 +86,49 @@ func (c *classSamples) add(lat sim.Time) {
 		return
 	}
 	if len(c.samples) >= sampleCap {
-		// Decimate in place: keep every other sample.
-		kept := c.samples[:0]
-		for i := 0; i < len(c.samples); i += 2 {
-			kept = append(kept, c.samples[i])
-		}
-		c.samples = kept
-		c.stride++
+		c.decimate()
 		if c.count&((1<<c.stride)-1) != 0 {
 			return
 		}
 	}
 	c.samples = append(c.samples, lat)
+}
+
+// decimate halves the retained set in place (keep every other sample)
+// and doubles the sampling stride.
+func (c *classSamples) decimate() {
+	kept := c.samples[:0]
+	for i := 0; i < len(c.samples); i += 2 {
+		kept = append(kept, c.samples[i])
+	}
+	c.samples = kept
+	c.stride++
+}
+
+// merge folds src's retained samples into c. The coarser stride wins:
+// the finer side is decimated until the strides match, then the sets
+// concatenate (quantile sorts, so order is immaterial). While both
+// sides are below the decimation threshold the merged set is the exact
+// union — a partitioned run's percentiles equal the serial run's.
+func (c *classSamples) merge(src *classSamples) {
+	ss := append([]sim.Time(nil), src.samples...)
+	st := src.stride
+	for c.stride < st {
+		c.decimate()
+	}
+	for st < c.stride {
+		kept := ss[:0]
+		for i := 0; i < len(ss); i += 2 {
+			kept = append(kept, ss[i])
+		}
+		ss = kept
+		st++
+	}
+	c.samples = append(c.samples, ss...)
+	c.count += src.count
+	for len(c.samples) > sampleCap {
+		c.decimate()
+	}
 }
 
 // quantile returns the q-quantile (0..1) of the retained samples.
@@ -242,6 +273,54 @@ func (c *Collector) NoteDuplicate(flowID uint32) {
 // recovery window) for flowID.
 func (c *Collector) NoteRogue(flowID uint32) {
 	c.stats(flowID).Rogue++
+}
+
+// Merge folds src's statistics into c — how the partitioned testbed
+// reassembles one collector view from the per-partition collectors its
+// NICs recorded into. Per-flow accumulators add (counts, latency sums,
+// misses, FRER eliminations), extrema fold, and per-class percentile
+// sample sets concatenate (exact while below the decimation
+// threshold). Sequence-tracking state (lastSeq/seenSeq) carries over
+// only when c has not itself received the flow: every flow is
+// delivered at exactly one NIC, so in partition merges at most one
+// side has receive-state for any flow and the fold is exact. Telemetry
+// handles are registry-side and merge with metrics.Registry.Merge.
+func (c *Collector) Merge(src *Collector) {
+	if src == nil || src == c {
+		return
+	}
+	for id, st := range src.perFlow {
+		dst := c.stats(id)
+		dst.Class = st.Class
+		dst.Received += st.Received
+		dst.sumLat += st.sumLat
+		dst.sumLatSq += st.sumLatSq
+		if st.MinLat < dst.MinLat {
+			dst.MinLat = st.MinLat
+		}
+		if st.MaxLat > dst.MaxLat {
+			dst.MaxLat = st.MaxLat
+		}
+		dst.DeadlineMisses += st.DeadlineMisses
+		if dst.deadline == 0 {
+			dst.deadline = st.deadline
+		}
+		dst.SeqGaps += st.SeqGaps
+		dst.Reordered += st.Reordered
+		dst.Duplicates += st.Duplicates
+		dst.Rogue += st.Rogue
+		if !dst.seenSeq {
+			dst.lastSeq, dst.seenSeq = st.lastSeq, st.seenSeq
+		}
+	}
+	for cls, cs := range src.perClass {
+		dst, ok := c.perClass[cls]
+		if !ok {
+			dst = &classSamples{}
+			c.perClass[cls] = dst
+		}
+		dst.merge(cs)
+	}
 }
 
 // Flow returns flowID's statistics, or nil if nothing arrived.

@@ -257,3 +257,98 @@ func TestRegisteredButLostFlowCountsAsLoss(t *testing.T) {
 		t.Fatalf("latency stats poisoned: %+v", s)
 	}
 }
+
+// clsSeqFrame is frame with an explicit sequence number and class.
+func clsSeqFrame(flow uint32, cls ethernet.Class, seq uint32, sent sim.Time) *ethernet.Frame {
+	f := frame(flow, cls, sent)
+	f.Seq = seq
+	return f
+}
+
+// TestMergeDisjointFlowsMatchesSerial records the same deliveries into
+// one collector and into two partition collectors (flows disjoint, as
+// in a partitioned run), merges the partitions, and checks every
+// exported statistic matches the serial collector exactly.
+func TestMergeDisjointFlowsMatchesSerial(t *testing.T) {
+	serial := NewCollector()
+	pa, pb := NewCollector(), NewCollector()
+	merged := NewCollector()
+
+	for _, c := range []*Collector{serial, pa} {
+		c.RegisterFlow(1, ethernet.ClassTS)
+		c.SetDeadline(1, 120)
+	}
+	for _, c := range []*Collector{serial, pb} {
+		c.RegisterFlow(2, ethernet.ClassRC)
+		c.RegisterFlow(3, ethernet.ClassTS) // fully lost: zero receives
+	}
+
+	// Flow 1 (partition A): a hit, a miss, a sequence gap.
+	for _, c := range []*Collector{serial, pa} {
+		c.Record(clsSeqFrame(1, ethernet.ClassTS, 0, 0), 100)
+		c.Record(clsSeqFrame(1, ethernet.ClassTS, 1, 50), 200)  // miss (150 > 120)
+		c.Record(clsSeqFrame(1, ethernet.ClassTS, 3, 100), 180) // gap: seq 2 skipped
+	}
+	// Flow 2 (partition B).
+	for _, c := range []*Collector{serial, pb} {
+		c.Record(clsSeqFrame(2, ethernet.ClassRC, 0, 0), 900)
+		c.Record(clsSeqFrame(2, ethernet.ClassRC, 1, 0), 1100)
+		c.NoteDuplicate(2)
+		c.NoteRogue(2)
+	}
+
+	merged.Merge(pa)
+	merged.Merge(pb)
+
+	sent := map[uint32]uint64{1: 4, 2: 2, 3: 5}
+	for _, cls := range []ethernet.Class{ethernet.ClassTS, ethernet.ClassRC} {
+		want := serial.Summarize(cls, sent)
+		got := merged.Summarize(cls, sent)
+		if got != want {
+			t.Fatalf("%v summary mismatch:\n got %+v\nwant %+v", cls, got, want)
+		}
+	}
+	for _, id := range []uint32{1, 2, 3} {
+		ws, gs := serial.Flow(id), merged.Flow(id)
+		if (ws == nil) != (gs == nil) {
+			t.Fatalf("flow %d presence mismatch", id)
+		}
+		if ws == nil {
+			continue
+		}
+		if *gs != *ws {
+			t.Fatalf("flow %d mismatch:\n got %+v\nwant %+v", id, *gs, *ws)
+		}
+	}
+}
+
+// TestClassSamplesMergeDecimated checks the stride-aligned merge: a
+// decimated side and a fresh side combine without losing either set's
+// coverage, and the count reflects every observation.
+func TestClassSamplesMergeDecimated(t *testing.T) {
+	a, b := &classSamples{}, &classSamples{}
+	for i := 0; i < sampleCap+10; i++ { // forces one decimation in a
+		a.add(sim.Time(i))
+	}
+	for i := 0; i < 100; i++ {
+		b.add(sim.Time(1000000 + i))
+	}
+	if a.stride == 0 {
+		t.Fatal("a never decimated; test is vacuous")
+	}
+	wantCount := a.count + b.count
+	a.merge(b)
+	if a.count != wantCount {
+		t.Fatalf("merged count = %d, want %d", a.count, wantCount)
+	}
+	if len(a.samples) > sampleCap {
+		t.Fatalf("merged retained %d samples, over the %d cap", len(a.samples), sampleCap)
+	}
+	// The merged set still spans both inputs.
+	if q := a.quantile(0.999); q < 1000000 {
+		t.Fatalf("p99.9 = %v; b's samples lost in merge", q)
+	}
+	if q := a.quantile(0.001); q > 100000 {
+		t.Fatalf("p0.1 = %v; a's samples lost in merge", q)
+	}
+}

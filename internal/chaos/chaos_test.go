@@ -258,8 +258,38 @@ func TestCampaignFixedSeedReproducible(t *testing.T) {
 	if a.DeterminismChecks == 0 {
 		t.Fatal("no determinism checks ran")
 	}
+	if a.ParityChecks == 0 {
+		t.Fatal("no partition-parity checks ran")
+	}
 	if len(a.Errors) > 0 {
 		t.Fatalf("campaign errors: %v", a.Errors)
+	}
+}
+
+// TestPartitionParityOracleHolds runs the oracle on a case that
+// carries every feature the strip must remove (faults, watchdog,
+// FRER): after stripping, the serial and 2-partition runs of the
+// remaining workload must export byte-identical metrics.
+func TestPartitionParityOracleHolds(t *testing.T) {
+	a, b := 1, 2
+	c := Case{
+		Seed: 9, Topology: "bidir-ring", Switches: 6, TSFlows: 8, Hops: 3,
+		WireSize: 128, SlotUs: 65, RCMbps: 20, BEMbps: 20, DurMs: 15,
+		Watchdog: true, FRERFlows: 2,
+		Faults: []faults.Fault{
+			{AtUs: 3000, Kind: faults.KindLinkDown, A: &a, B: &b},
+		},
+	}
+	if v := CheckPartitionParity(c, 2); v != nil {
+		t.Fatalf("parity oracle violated on a clean dataplane: %s", v)
+	}
+	// The new scale topologies run through the same oracle.
+	for _, topo := range []string{"mesh", "fattree"} {
+		c := Case{Seed: 11, Topology: topo, Switches: 9, TSFlows: 12, Hops: 3,
+			WireSize: 64, SlotUs: 65, DurMs: 10}
+		if v := CheckPartitionParity(c, 2); v != nil {
+			t.Fatalf("%s: parity oracle violated: %s", topo, v)
+		}
 	}
 }
 

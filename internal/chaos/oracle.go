@@ -39,13 +39,19 @@ const (
 	// byte-identical metrics snapshot (checked by the campaign on a
 	// sampled subset).
 	OracleDeterminism = "replay-determinism"
+	// OracleParity: re-running the case (stripped to the partitionable
+	// feature set) on the partitioned parallel simulator yields a
+	// byte-identical metrics export to the serial engine, the scheduler
+	// heap-depth gauge excepted (checked by the campaign on a sampled
+	// subset; see DESIGN.md §16).
+	OracleParity = "partition-parity"
 )
 
 // Oracles lists every invariant oracle the engine can report, in
 // documentation order.
 func Oracles() []string {
 	return []string{OracleConservation, OracleZeroLoss, OracleAttribution,
-		OracleLadder, OracleAtomicity, OracleDeterminism}
+		OracleLadder, OracleAtomicity, OracleDeterminism, OracleParity}
 }
 
 // checkOracles applies the post-run oracle suite to one executed case.

@@ -53,6 +53,10 @@ type Profile struct {
 	// DeterminismEvery runs the same-seed replay cross-check on every
 	// n-th case (0 disables).
 	DeterminismEvery int `json:"determinism_every"`
+	// ParityEvery runs the partition-parity cross-check (serial vs
+	// 2-partition metrics byte-compare, faults/reconfig/watchdog/FRER
+	// stripped) on every n-th case (0 disables).
+	ParityEvery int `json:"parity_every"`
 	// RetryMax/RetryBackoffUs configure the reconfig retry policy for
 	// reconfiguring cases.
 	RetryMax       int `json:"retry_max"`
@@ -64,11 +68,11 @@ type Profile struct {
 // DefaultProfile is the stock campaign: every topology, modest scales
 // (cases must stay cheap enough to run hundreds under a CI budget),
 // full fault menu, reconfig plus transient staging failures, replay
-// cross-check every 8th case.
+// and partition-parity cross-checks every 8th case.
 func DefaultProfile() Profile {
 	return Profile{
 		MaxRuns:          256,
-		Topologies:       []string{"star", "ring", "bidir-ring", "linear", "tree"},
+		Topologies:       []string{"star", "ring", "bidir-ring", "linear", "tree", "mesh", "fattree"},
 		MinSwitches:      3,
 		MaxSwitches:      8,
 		MinTSFlows:       4,
@@ -85,6 +89,7 @@ func DefaultProfile() Profile {
 		TransientProb:    0.5,
 		WedgeProb:        0,
 		DeterminismEvery: 8,
+		ParityEvery:      8,
 		RetryMax:         3,
 		RetryBackoffUs:   200,
 		Seed:             1,
@@ -99,7 +104,7 @@ func (p *Profile) Validate() error {
 	if len(p.Topologies) == 0 {
 		return fmt.Errorf("chaos: no topologies")
 	}
-	known := map[string]bool{"star": true, "ring": true, "bidir-ring": true, "linear": true, "tree": true}
+	known := map[string]bool{"star": true, "ring": true, "bidir-ring": true, "linear": true, "tree": true, "mesh": true, "fattree": true}
 	for _, t := range p.Topologies {
 		if !known[t] {
 			return fmt.Errorf("chaos: unknown topology %q", t)
@@ -131,6 +136,9 @@ func (p *Profile) Validate() error {
 	}
 	if p.DeterminismEvery < 0 {
 		return fmt.Errorf("chaos: determinism_every %d negative", p.DeterminismEvery)
+	}
+	if p.ParityEvery < 0 {
+		return fmt.Errorf("chaos: parity_every %d negative", p.ParityEvery)
 	}
 	if p.RetryMax < 0 || p.RetryBackoffUs < 0 {
 		return fmt.Errorf("chaos: retry policy (%d, %dµs) negative", p.RetryMax, p.RetryBackoffUs)

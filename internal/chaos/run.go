@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"fmt"
+	"strings"
 
 	"github.com/tsnbuilder/tsnbuilder/internal/core"
 	"github.com/tsnbuilder/tsnbuilder/internal/faults"
@@ -79,4 +80,87 @@ func Execute(c Case) (*Result, error) {
 	}
 	res.MetricsJSON = buf.Bytes()
 	return res, nil
+}
+
+// parityStrip reduces a case to the feature set the partitioned build
+// supports: no faults, no mid-run reconfiguration, no watchdog, no
+// FRER. The workload itself (topology, flows, background, seed,
+// duration) is untouched, so the comparison still covers the full
+// forwarding, gating and shaping dataplane.
+func parityStrip(c Case) Case {
+	c.Faults = nil
+	c.Reconfig = nil
+	c.Watchdog = false
+	c.FRERFlows = 0
+	c.FRERCovered = false
+	c.RetryMax = 0
+	c.RetryBackoffUs = 0
+	return c
+}
+
+// stripHeapGauge drops the scheduler heap-depth gauge's value lines
+// from a Prometheus export — the one metric serial and partitioned
+// runs legitimately disagree on (per-partition heaps have their own
+// high waters; the merge keeps the maximum).
+func stripHeapGauge(export string) string {
+	lines := strings.Split(export, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "tsn_sim_heap_depth_high_water ") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// CheckPartitionParity is the partition-parity oracle: it re-runs the
+// sampled case — stripped to the partitionable feature set — once on
+// the serial engine and once sharded across the given partition count,
+// and byte-compares the two metrics exports (heap-depth gauge
+// normalized). A nil return means parity held; a non-nil Violation
+// means the parallel simulator diverged from the serial schedule, the
+// determinism contract tsnsim -partitions promises.
+func CheckPartitionParity(c Case, partitions int) *Violation {
+	s := parityStrip(c)
+	run := func(parts int) (string, error) {
+		wl, err := workload.Build(workload.Params{
+			Topology: s.Topology, Switches: s.Switches, TSFlows: s.TSFlows,
+			Hops: s.Hops, WireSize: s.WireSize, SlotUs: s.SlotUs,
+			RCMbps: s.RCMbps, BEMbps: s.BEMbps,
+			Seed: s.Seed,
+		})
+		if err != nil {
+			return "", err
+		}
+		reg := metrics.New()
+		net, err := testbed.Build(testbed.Options{
+			Design: wl.Design, Topo: wl.Topo, Flows: wl.Specs,
+			Metrics: reg, Seed: s.Seed,
+			Partitions: parts,
+		})
+		if err != nil {
+			return "", err
+		}
+		net.Run(0, s.dur())
+		var b strings.Builder
+		if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+	serial, err := run(0)
+	if err != nil {
+		return &Violation{Oracle: OracleParity, Detail: fmt.Sprintf("serial re-run errored: %v", err)}
+	}
+	par, err := run(partitions)
+	if err != nil {
+		return &Violation{Oracle: OracleParity, Detail: fmt.Sprintf("partitions=%d run errored: %v", partitions, err)}
+	}
+	if a, b := stripHeapGauge(serial), stripHeapGauge(par); a != b {
+		return &Violation{Oracle: OracleParity, Detail: fmt.Sprintf(
+			"partitions=%d metrics diverged from serial (%d vs %d bytes after heap-gauge normalization)",
+			partitions, len(a), len(b))}
+	}
+	return nil
 }

@@ -115,9 +115,14 @@ func (r *Registry) Merge(src *Registry) {
 			s.h.sum += c.h.sum
 			s.h.count += c.h.count
 			// Exemplars fold like ObserveExemplar retains them:
-			// strictly-greater value wins, a tie keeps the destination's
-			// (earlier-in-sweep-order) exemplar.
-			if c.h.exSet && (!s.h.exSet || c.h.ex.Value > s.h.ex.Value) {
+			// strictly-greater value wins; among equal values the earlier
+			// observation (smaller At) wins, matching the serial engine
+			// keeping the FIRST equal-worst it saw — so merging partition
+			// registries reproduces the serial exemplar no matter which
+			// partition observed it. An exact (value, At) tie keeps the
+			// destination's (earlier-in-merge-order) exemplar.
+			if c.h.exSet && (!s.h.exSet || c.h.ex.Value > s.h.ex.Value ||
+				(c.h.ex.Value == s.h.ex.Value && c.h.ex.At < s.h.ex.At)) {
 				s.h.ex = c.h.ex
 				s.h.exSet = true
 			}

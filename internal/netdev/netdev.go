@@ -38,6 +38,24 @@ type Ifc struct {
 	// interface (a mirror-port tap).
 	sniff func(*ethernet.Frame, sim.Time)
 
+	// deliverPrio is this interface's stable global index, stamped as
+	// the same-instant tie-break priority on every delivery event
+	// arriving here. Two deliveries to one interface can never tie (the
+	// wire serializes them), so at any instant the priority totally
+	// orders all deliveries — by interface identity rather than by
+	// scheduling order, which is what lets a partitioned run execute
+	// same-instant deliveries in exactly the serial order. Zero (unset)
+	// degrades to plain FIFO tie-breaking.
+	deliverPrio uint64
+	// remotePost, when set, reroutes this interface's deliveries across
+	// a partition boundary: instead of scheduling the delivery on the
+	// sender's engine, the transmit path hands (frame, arrival instant,
+	// final-fragment wire time) to the hook, which mails it to the
+	// receiving partition for ScheduleRemoteDelivery. Cut links carry no
+	// fault injection or impairments (the partitioned testbed rejects
+	// them), so the delivery-time fault checks are skipped on this path.
+	remotePost func(f *ethernet.Frame, at, wire sim.Time)
+
 	// Link state. down is symmetric across the cable (both ends are
 	// flipped together); epoch increments on every down transition so
 	// frames serialized before an outage are dropped at delivery time
@@ -150,6 +168,41 @@ func (i *Ifc) LinkDrops() (linkDown, loss, corrupt uint64) {
 // Peer returns the interface at the other end of the cable.
 func (i *Ifc) Peer() *Ifc { return i.peer }
 
+// SetDeliverPrio assigns this interface's stable global index, used as
+// the same-instant tie-break priority for deliveries arriving here.
+// The testbed assigns indexes in build order (switch ports first, then
+// NICs in sorted host order, 1-based) so the numbering is identical in
+// serial and partitioned builds.
+func (i *Ifc) SetDeliverPrio(p uint64) { i.deliverPrio = p }
+
+// DeliverPrio returns the interface's delivery tie-break index.
+func (i *Ifc) DeliverPrio() uint64 { return i.deliverPrio }
+
+// SetRemotePost installs the cut-link hook: deliveries transmitted
+// from this interface are handed to fn instead of being scheduled on
+// the local engine. The receiving partition replays them through the
+// peer's ScheduleRemoteDelivery. Pass nil to restore local delivery.
+func (i *Ifc) SetRemotePost(fn func(f *ethernet.Frame, at, wire sim.Time)) { i.remotePost = fn }
+
+// ScheduleRemoteDelivery schedules a frame arriving from the peer
+// across a partition boundary onto this (receiving) interface's
+// engine, at the precomputed arrival instant with this interface's
+// delivery priority — byte-for-byte the same dispatch the serial
+// engine would have performed. wire is the final fragment's
+// serialization time, needed to close the latency-attribution hop.
+// Fault and impairment checks are skipped: partitioned runs carry
+// neither (validated at build), so a cut link is always clean.
+func (i *Ifc) ScheduleRemoteDelivery(f *ethernet.Frame, at, wire sim.Time) {
+	i.engine.AtPrio(at, i.deliverPrio, "rdeliver:"+i.Name, func(e *sim.Engine) {
+		i.rxFrames++
+		f.Span.OnDeliver(e.Now(), i.prop, wire)
+		i.owner.Receive(f, i)
+		if i.sniff != nil {
+			i.sniff(f, e.Now())
+		}
+	})
+}
+
 // Busy reports whether a transmission is occupying the wire now.
 func (i *Ifc) Busy() bool { return i.engine.Now() < i.busyUntil }
 
@@ -208,7 +261,21 @@ func (i *Ifc) transmitBytes(f *ethernet.Frame, wireBytes int, onDone func()) *Tx
 	deliver := f.CloneHeader()
 	peer := i.peer
 	epoch := i.epoch
-	h.deliver = i.engine.After(wire+i.prop, "deliver:"+i.Name, func(e *sim.Engine) {
+	if i.remotePost != nil {
+		// Cut link: the receiving partition schedules the delivery on
+		// its own engine. No local deliver event exists, so Abort()
+		// cannot cancel it — the partitioned testbed rejects
+		// preemption-enabled designs for exactly this reason.
+		i.remotePost(deliver, now+wire+i.prop, wire)
+		h.done = i.engine.After(occupancy, "txdone:"+i.Name, func(*sim.Engine) {
+			h.completed = true
+			if onDone != nil {
+				onDone()
+			}
+		})
+		return h
+	}
+	h.deliver = i.engine.AtPrio(now+wire+i.prop, peer.deliverPrio, "deliver:"+i.Name, func(e *sim.Engine) {
 		// Link faults and impairments are applied at delivery time so
 		// the transmitting MAC's timing is never perturbed. The epoch
 		// check catches a down/up flap between serialization and

@@ -210,6 +210,63 @@ func (a *Attribution) observeMiss(cls ethernet.Class, f *ethernet.Frame, arrival
 	a.dumps = append(a.dumps, d)
 }
 
+// Merge folds src's aggregates into a — how the partitioned testbed
+// reassembles one attribution view from the per-partition layers its
+// collectors fed. Per-flow sums add and worst-delivery records fold
+// (every flow is delivered at one NIC, so in partition merges at most
+// one side has data for any flow and the fold is exact); retained
+// dumps combine ordered by severity (misses) or capture time (event
+// dumps), keeping the worst/newest within the usual caps. The metric
+// histograms are registry-side and merge with metrics.Registry.Merge.
+func (a *Attribution) Merge(src *Attribution) {
+	if src == nil || src == a {
+		return
+	}
+	src.mu.Lock()
+	flows := make([]FlowLatency, 0, len(src.flows))
+	for _, fl := range src.flows {
+		flows = append(flows, *fl)
+	}
+	dumps := append([]MissDump(nil), src.dumps...)
+	eventDumps := append([]EventDump(nil), src.eventDumps...)
+	worst := src.worstMiss
+	src.mu.Unlock()
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, in := range flows {
+		fl, ok := a.flows[in.FlowID]
+		if !ok {
+			fl = &FlowLatency{FlowID: in.FlowID}
+			a.flows[in.FlowID] = fl
+		}
+		fl.Class = in.Class
+		had := fl.Count
+		fl.Count += in.Count
+		fl.Misses += in.Misses
+		fl.Sum.add(in.Sum)
+		if in.WorstLat > fl.WorstLat || had == 0 {
+			fl.Worst, fl.WorstLat, fl.WorstSeq, fl.WorstAt = in.Worst, in.WorstLat, in.WorstSeq, in.WorstAt
+		}
+	}
+	if worst > a.worstMiss {
+		a.worstMiss = worst
+	}
+	// Serial retention appends each new global worst, so the ring is
+	// sorted by latency; keep that invariant (consumers read the last
+	// element as the global worst).
+	a.dumps = append(a.dumps, dumps...)
+	sort.SliceStable(a.dumps, func(i, j int) bool { return a.dumps[i].Lat < a.dumps[j].Lat })
+	if len(a.dumps) > maxMissDumps {
+		a.dumps = append(a.dumps[:0], a.dumps[len(a.dumps)-maxMissDumps:]...)
+	}
+	a.eventDumps = append(a.eventDumps, eventDumps...)
+	sort.SliceStable(a.eventDumps, func(i, j int) bool { return a.eventDumps[i].At < a.eventDumps[j].At })
+	if len(a.eventDumps) > maxEventDumps {
+		a.eventDumps = append(a.eventDumps[:0], a.eventDumps[len(a.eventDumps)-maxEventDumps:]...)
+	}
+}
+
 // Flow returns one flow's aggregate (copy) and whether it exists.
 func (a *Attribution) Flow(id uint32) (FlowLatency, bool) {
 	a.mu.Lock()

@@ -175,3 +175,42 @@ func TestObserveLatencySteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state ObserveLatency allocates %.1f/op, want 0", allocs)
 	}
 }
+
+// TestAttributionMergeFoldsFlowsAndDumps merges two partition-style
+// attributions into an empty target and checks per-flow folding, the
+// global-worst invariant of the dump ring, and idempotence guards.
+func TestAttributionMergeFoldsFlowsAndDumps(t *testing.T) {
+	mk := func() *Attribution { return NewAttribution(nil, nil) }
+	target, pa, pb := mk(), mk(), mk()
+
+	obs := func(a *Attribution, flow uint32, seq uint32, lat sim.Time, missed bool) {
+		f := spanFrame(flow, seq, ethernet.ClassTS, lat)
+		a.ObserveLatency(f, f.SentAt+lat, lat, missed)
+	}
+	obs(pa, 1, 0, 100, false)
+	obs(pa, 1, 1, 900, true)
+	obs(pb, 2, 0, 500, true)
+	obs(pb, 2, 1, 200, false)
+
+	target.Merge(pa)
+	target.Merge(pb)
+	target.Merge(nil)    // no-op
+	target.Merge(target) // no-op
+
+	flows := target.Flows()
+	if len(flows) != 2 {
+		t.Fatalf("merged %d flows, want 2", len(flows))
+	}
+	f1, ok := target.Flow(1)
+	if !ok || f1.Count != 2 || f1.Misses != 1 || f1.WorstLat != 900 || f1.WorstSeq != 1 {
+		t.Fatalf("flow 1 fold wrong: %+v", f1)
+	}
+	f2, ok := target.Flow(2)
+	if !ok || f2.Count != 2 || f2.WorstLat != 500 {
+		t.Fatalf("flow 2 fold wrong: %+v", f2)
+	}
+	top := target.TopByWorst(1)
+	if len(top) != 1 || top[0].FlowID != 1 {
+		t.Fatalf("TopByWorst = %+v, want flow 1", top)
+	}
+}

@@ -1,0 +1,139 @@
+package psim
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+)
+
+// Partition is one shard of the simulation: its own engine plus the
+// mailboxes other partitions post deliveries to it through. Inboxes
+// drain in AddInbox order, which the builder fixes (cut links in
+// TrunkLinks order), so the merged schedule is independent of worker
+// timing. (Order only affects engine-internal seq numbers; the events
+// themselves carry (time, interface prio), which fully orders them.)
+type Partition struct {
+	Engine *sim.Engine
+	inbox  []*Mailbox
+}
+
+// NewPartition wraps an engine as a partition.
+func NewPartition(e *sim.Engine) *Partition { return &Partition{Engine: e} }
+
+// AddInbox registers a mailbox whose messages this partition receives.
+func (p *Partition) AddInbox(m *Mailbox) { p.inbox = append(p.inbox, m) }
+
+// drain schedules every pending inbound message on the engine.
+func (p *Partition) drain() {
+	for _, m := range p.inbox {
+		m.Drain()
+	}
+}
+
+// barrier is a reusable N-party rendezvous. Its mutex hand-off is the
+// happens-before edge the lock-free mailboxes rely on.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all parties have arrived.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	phase := b.phase
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Runner steps a set of partitions through barrier-synchronized
+// conservative windows.
+type Runner struct {
+	parts  []*Partition
+	window sim.Time
+}
+
+// NewRunner builds a runner over the partitions with the given safe
+// window (from Lookahead). A non-positive window would deadlock the
+// protocol (zero progress per barrier) and panics; pass Unbounded for
+// a partitioning with no cut links.
+func NewRunner(parts []*Partition, window sim.Time) *Runner {
+	if len(parts) == 0 {
+		panic("psim: NewRunner with no partitions")
+	}
+	if window <= 0 {
+		panic(fmt.Sprintf("psim: non-positive lookahead window %v", window))
+	}
+	return &Runner{parts: parts, window: window}
+}
+
+// Window returns the conservative lookahead the runner steps by.
+func (r *Runner) Window() sim.Time { return r.window }
+
+// RunUntil advances every partition to the deadline, inclusive —
+// the partitioned equivalent of sim.Engine.RunUntil. All engines must
+// agree on the current instant (they do after construction, and after
+// every RunUntil).
+//
+// Per window each worker drains its inboxes, barriers (no engine runs
+// until every drain is done), executes the half-open window [T, T+W)
+// via RunBefore, and barriers again (no drain starts until every
+// producer is quiescent). The final window — when less than W remains
+// — runs RunUntil(deadline) so events at exactly the deadline execute,
+// matching serial semantics; anything posted during it arrives
+// strictly beyond the deadline (arrival ≥ T+W > deadline) and is
+// drained after the last barrier only so no message is silently lost.
+func (r *Runner) RunUntil(deadline sim.Time) {
+	start := r.parts[0].Engine.Now()
+	for _, p := range r.parts[1:] {
+		if p.Engine.Now() != start {
+			panic(fmt.Sprintf("psim: partitions disagree on now (%v vs %v)", p.Engine.Now(), start))
+		}
+	}
+	if deadline < start {
+		panic(fmt.Sprintf("psim: RunUntil(%v) before now %v", deadline, start))
+	}
+	bar := newBarrier(len(r.parts))
+	var wg sync.WaitGroup
+	for _, p := range r.parts {
+		wg.Add(1)
+		go func(p *Partition) {
+			defer wg.Done()
+			t := start
+			for {
+				p.drain()
+				bar.wait()
+				if deadline-t < r.window {
+					p.Engine.RunUntil(deadline)
+					bar.wait()
+					p.drain()
+					return
+				}
+				limit := t + r.window
+				p.Engine.RunBefore(limit)
+				t = limit
+				bar.wait()
+			}
+		}(p)
+	}
+	wg.Wait()
+}

@@ -11,10 +11,15 @@ import (
 // engine so it can schedule follow-up events.
 type Handler func(e *Engine)
 
-// event is a scheduled callback. seq breaks ties between events
-// scheduled for the same instant so execution order is deterministic
-// (FIFO in scheduling order), which keeps whole-network simulations
-// reproducible run to run.
+// event is a scheduled callback. Ties between events scheduled for the
+// same instant break on (prio, seq): prio is a stable identity assigned
+// by the caller (AtPrio) — zero for ordinary events, a unique
+// per-interface index for frame deliveries — and seq is the scheduling
+// order. Ordinary events therefore stay FIFO in scheduling order, while
+// deliveries order by interface identity, which is what lets a
+// partitioned run reproduce the serial execution order exactly: an
+// interface index is the same number no matter which engine schedules
+// the delivery, whereas a creation seq is not.
 //
 // Popped and canceled events are recycled through the engine's free
 // list, so steady-state scheduling allocates nothing. gen increments on
@@ -22,6 +27,7 @@ type Handler func(e *Engine)
 // resurrect (or cancel) a reused event.
 type event struct {
 	at    Time
+	prio  uint64
 	seq   uint64
 	fn    Handler
 	index int // heap index, -1 once popped or canceled
@@ -29,7 +35,7 @@ type event struct {
 	gen   uint32
 }
 
-// eventHeap implements container/heap ordered by (at, seq).
+// eventHeap implements container/heap ordered by (at, prio, seq).
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -37,6 +43,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
@@ -162,11 +171,24 @@ func (e *Engine) recycle(ev *event) {
 // At schedules fn to run at the absolute instant at. Scheduling in the
 // past (before Now) panics: it indicates a causality bug in the caller.
 func (e *Engine) At(at Time, label string, fn Handler) EventRef {
+	return e.AtPrio(at, 0, label, fn)
+}
+
+// AtPrio schedules fn at the absolute instant at with an explicit
+// same-instant tie-break priority. Events at one instant execute in
+// (prio, scheduling-order) order; plain At/After events carry prio 0
+// and so run before any prioritized event at the same instant. Callers
+// use prio as a stable identity (netdev stamps frame deliveries with
+// the receiving interface's global index) so execution order at an
+// instant is a function of the model, not of which engine scheduled
+// the event — the property partitioned runs need to match serial runs
+// byte for byte.
+func (e *Engine) AtPrio(at Time, prio uint64, label string, fn Handler) EventRef {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v which is before now %v", label, at, e.now))
 	}
 	ev := e.alloc()
-	ev.at, ev.seq, ev.fn, ev.label = at, e.nextSeq, fn, label
+	ev.at, ev.prio, ev.seq, ev.fn, ev.label = at, prio, e.nextSeq, fn, label
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 	e.metHeapHW.SetMax(int64(len(e.queue)))
@@ -194,9 +216,17 @@ func (e *Engine) Cancel(r EventRef) bool {
 	return true
 }
 
-// Stop makes the current Run call return after the in-flight event
-// completes. Pending events remain queued.
+// Stop makes the current Run/RunUntil/RunBefore/RunFor call return
+// after the in-flight event completes. Pending events remain queued and
+// the clock stays at the last executed event's instant — a stopped
+// bounded run does NOT jump to its deadline, so Now() always reflects
+// how far the simulation actually got. The flag is consumed by the next
+// run call (each entry point resets it), so Stop outside a run is a
+// no-op.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether the last run call ended early via Stop.
+func (e *Engine) Stopped() bool { return e.stopped }
 
 // step pops and runs the earliest event. It reports false when the
 // queue is empty.
@@ -233,7 +263,9 @@ func (e *Engine) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then sets the
 // clock to the deadline. Events scheduled beyond the deadline stay
-// queued.
+// queued. If Stop ends the run early the clock is NOT advanced to the
+// deadline — it stays at the last executed event so callers can see
+// where the run actually stopped (check Stopped()).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
@@ -242,8 +274,28 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		e.step()
 	}
-	if e.now < deadline {
+	if !e.stopped && e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// RunBefore executes events with timestamps strictly before limit, then
+// sets the clock to limit. It is the half-open window primitive the
+// partitioned scheduler steps with: a conservative window [T, T+W) runs
+// via RunBefore(T+W), leaving every event at exactly T+W (including
+// cross-partition deliveries arriving at the window edge) for the next
+// window. As with RunUntil, an early Stop leaves the clock where the
+// run stopped.
+func (e *Engine) RunBefore(limit Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at >= limit {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && e.now < limit {
+		e.now = limit
 	}
 }
 

@@ -170,6 +170,116 @@ func TestEngineStop(t *testing.T) {
 	}
 }
 
+func TestEngineAtPrioOrdersWithinInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	// Schedule out of priority order at one instant; plain At events
+	// (prio 0) must run first, then prioritized events by prio.
+	e.AtPrio(10, 7, "p7", func(*Engine) { got = append(got, 7) })
+	e.AtPrio(10, 3, "p3", func(*Engine) { got = append(got, 3) })
+	e.At(10, "plain", func(*Engine) { got = append(got, 0) })
+	e.AtPrio(10, 5, "p5", func(*Engine) { got = append(got, 5) })
+	e.Run()
+	want := []int{0, 3, 5, 7}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineAtPrioFIFOWithinPrio(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.AtPrio(5, 1, "tie", func(*Engine) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-prio tie-break order = %v, want scheduling order", got)
+		}
+	}
+}
+
+func TestEnginePrioDoesNotOutrankTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.AtPrio(10, 1, "early-highprio", func(*Engine) { got = append(got, 1) })
+	e.At(20, "late-plain", func(*Engine) { got = append(got, 2) })
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", got)
+	}
+}
+
+func TestEngineRunBefore(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 25, 30} {
+		at := at
+		e.At(at, "t", func(*Engine) { fired = append(fired, at) })
+	}
+	// Strictly-before semantics: the event at exactly 25 stays queued.
+	e.RunBefore(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want the 2 events before 25", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	// The next window picks the boundary event up.
+	e.RunBefore(26)
+	if len(fired) != 3 || fired[2] != 25 {
+		t.Fatalf("fired %v, want the boundary event at 25 in the next window", fired)
+	}
+	e.RunBefore(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4 events", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineRunUntilStopKeepsClock(t *testing.T) {
+	e := NewEngine()
+	e.At(10, "stopper", func(en *Engine) { en.Stop() })
+	e.At(20, "later", func(*Engine) {})
+	e.RunUntil(100)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v after early Stop, want 10 (must not jump to the deadline)", e.Now())
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop ended the run")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Resuming works: the next bounded run consumes the remaining event
+	// and, completing normally, advances to its deadline.
+	e.RunUntil(100)
+	if e.Stopped() {
+		t.Fatal("Stopped() = true after a run that completed normally")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v after resume, want 100", e.Now())
+	}
+}
+
+func TestEngineRunBeforeStopKeepsClock(t *testing.T) {
+	e := NewEngine()
+	e.At(10, "stopper", func(en *Engine) { en.Stop() })
+	e.RunBefore(100)
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v after early Stop, want 10", e.Now())
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop ended the run")
+	}
+}
+
 func TestEngineExecutedCounter(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 5; i++ {

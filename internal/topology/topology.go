@@ -23,6 +23,8 @@ const (
 	KindLinear
 	KindTree
 	KindRingBidir
+	KindMesh
+	KindFatTree
 )
 
 // String implements fmt.Stringer.
@@ -38,6 +40,10 @@ func (k Kind) String() string {
 		return "tree"
 	case KindRingBidir:
 		return "bidir-ring"
+	case KindMesh:
+		return "mesh"
+	case KindFatTree:
+		return "fattree"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }

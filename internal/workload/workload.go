@@ -25,10 +25,12 @@ const MaxFRERFlows = 64
 // Params selects one workload. Every field maps 1:1 to a tsnsim flag,
 // so any Params value is expressible as a command line.
 type Params struct {
-	// Topology is one of star, ring, bidir-ring, linear, tree.
+	// Topology is one of star, ring, bidir-ring, linear, tree, mesh,
+	// fattree.
 	Topology string
 	// Switches is the node count (star children = Switches-1, tree
-	// leaves = (Switches-3)/2).
+	// leaves = (Switches-3)/2, mesh the squarest grid of exactly this
+	// many nodes, fattree the smallest even arity reaching it).
 	Switches int
 	// TSFlows is the TS flow count.
 	TSFlows int
@@ -80,6 +82,10 @@ func Build(p Params) (*Built, error) {
 		topo = topology.Linear(p.Switches)
 	case "tree":
 		topo = topology.Tree(2, (p.Switches-3)/2)
+	case "mesh":
+		topo = topology.MeshSquarish(p.Switches)
+	case "fattree":
+		topo = topology.FatTreeAtLeast(p.Switches)
 	default:
 		return nil, fmt.Errorf("unknown topology %q", p.Topology)
 	}

@@ -1,0 +1,256 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tsnbuilder/tsnbuilder/internal/ethernet"
+	"github.com/tsnbuilder/tsnbuilder/internal/metrics"
+	"github.com/tsnbuilder/tsnbuilder/internal/sim"
+	"github.com/tsnbuilder/tsnbuilder/internal/workload"
+)
+
+// parityParams is a mixed-class workload exercising CQF gating, CBS
+// shaping and best-effort background across every switch of a ring —
+// the surface the serial-vs-partitioned byte-parity guarantee covers.
+var parityParams = workload.Params{
+	Topology: "ring",
+	Switches: 8,
+	TSFlows:  48,
+	Hops:     3,
+	WireSize: 128,
+	SlotUs:   65,
+	RCMbps:   40,
+	BEMbps:   60,
+	Seed:     7,
+}
+
+// runParity builds the parity workload with the given partition count,
+// runs it for 50 ms and returns the network plus its Prometheus export.
+func runParity(t *testing.T, partitions int) (*Net, string) {
+	t.Helper()
+	w, err := workload.Build(parityParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	net, err := Build(Options{
+		Design:     w.Design,
+		Topo:       w.Topo,
+		Flows:      w.Specs,
+		Metrics:    reg,
+		Seed:       5,
+		Partitions: partitions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(0, 50*sim.Millisecond)
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return net, b.String()
+}
+
+// normalizeHeapHW blanks the value of the scheduler heap-depth gauge —
+// the one metric the partitioned run legitimately differs on (each
+// partition heap has its own high water; the merge keeps the maximum,
+// the serial run tracks one global heap).
+func normalizeHeapHW(t *testing.T, export string) string {
+	t.Helper()
+	lines := strings.Split(export, "\n")
+	found := false
+	for i, l := range lines {
+		if strings.HasPrefix(l, "tsn_sim_heap_depth_high_water ") {
+			lines[i] = "tsn_sim_heap_depth_high_water X"
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("export lacks the heap high-water gauge the normalizer expects")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestPartitionedParity is the tentpole guarantee: a partitioned run
+// exports byte-identical metrics and per-flow statistics to the serial
+// run of the same workload.
+func TestPartitionedParity(t *testing.T) {
+	serial, serialExp := runParity(t, 0)
+	if serial.Partitions() != 1 {
+		t.Fatalf("serial build reports %d partitions", serial.Partitions())
+	}
+	for _, parts := range []int{2, 4} {
+		par, parExp := runParity(t, parts)
+		if got := par.Partitions(); got != parts {
+			t.Fatalf("partitioned build reports %d partitions, want %d", got, parts)
+		}
+		if par.LookaheadWindow() <= 0 {
+			t.Fatalf("lookahead window = %v, want positive", par.LookaheadWindow())
+		}
+		if a, b := normalizeHeapHW(t, serialExp), normalizeHeapHW(t, parExp); a != b {
+			t.Fatalf("partitions=%d: Prometheus export differs from serial:\n%s",
+				parts, firstDiff(a, b))
+		}
+		sf, pf := serial.Collector.Flows(), par.Collector.Flows()
+		if len(sf) != len(pf) {
+			t.Fatalf("partitions=%d: %d flows vs serial %d", parts, len(pf), len(sf))
+		}
+		for i := range sf {
+			if *sf[i] != *pf[i] {
+				t.Fatalf("partitions=%d: flow %d stats differ:\nserial      %+v\npartitioned %+v",
+					parts, sf[i].FlowID, sf[i], pf[i])
+			}
+		}
+		for _, cls := range []ethernet.Class{ethernet.ClassTS, ethernet.ClassRC, ethernet.ClassBE} {
+			if s, p := serial.Summary(cls), par.Summary(cls); s != p {
+				t.Fatalf("partitions=%d class %v summary differs:\nserial      %+v\npartitioned %+v",
+					parts, cls, s, p)
+			}
+		}
+	}
+}
+
+// firstDiff locates the first differing line of two exports, with a
+// little context, so a parity failure is readable.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "line " + itoa(i+1) + ":\nserial:      " + al[i] + "\npartitioned: " + bl[i]
+		}
+	}
+	return "exports differ in length: " + itoa(len(al)) + " vs " + itoa(len(bl)) + " lines"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for ; n > 0; n /= 10 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+	}
+	return string(d)
+}
+
+// TestPartitionedParityMesh repeats the parity check on the mesh grid
+// — partitions there are row bands with several cut links apiece, the
+// worst case for the mailbox merge order.
+func TestPartitionedParityMesh(t *testing.T) {
+	params := parityParams
+	params.Topology = "mesh"
+	params.Switches = 9 // 3x3 grid
+	params.TSFlows = 27
+	run := func(partitions int) (*Net, string) {
+		t.Helper()
+		w, err := workload.Build(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := metrics.New()
+		net, err := Build(Options{
+			Design: w.Design, Topo: w.Topo, Flows: w.Specs,
+			Metrics: reg, Seed: 5, Partitions: partitions,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Run(0, 30*sim.Millisecond)
+		var b strings.Builder
+		if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return net, b.String()
+	}
+	serial, serialExp := run(0)
+	par, parExp := run(3)
+	if a, b := normalizeHeapHW(t, serialExp), normalizeHeapHW(t, parExp); a != b {
+		t.Fatalf("mesh export differs from serial:\n%s", firstDiff(a, b))
+	}
+	if s, p := serial.Summary(ethernet.ClassTS), par.Summary(ethernet.ClassTS); s != p {
+		t.Fatalf("mesh TS summary differs:\nserial      %+v\npartitioned %+v", s, p)
+	}
+}
+
+// TestPartitionedRunIsDeterministic pins run-to-run byte identity of a
+// partitioned run against itself — goroutine scheduling must never leak
+// into results.
+func TestPartitionedRunIsDeterministic(t *testing.T) {
+	_, a := runParity(t, 4)
+	_, b := runParity(t, 4)
+	if a != b {
+		t.Fatalf("two identical partitioned runs diverge:\n%s", firstDiff(a, b))
+	}
+}
+
+// TestPartitionedRejections enumerates the features a partitioned
+// build must refuse, each of which would couple partitions outside the
+// frame channel.
+func TestPartitionedRejections(t *testing.T) {
+	w, err := workload.Build(parityParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Design: w.Design, Topo: w.Topo, Flows: w.Specs, Partitions: 2}
+
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"gptp", func(o *Options) { o.EnableGPTP = true }},
+		{"watchdog", func(o *Options) { o.EnableWatchdog = true }},
+		{"trace", func(o *Options) { o.EnableTrace = true }},
+		{"pcap", func(o *Options) { o.Pcap = &strings.Builder{} }},
+	}
+	for _, tc := range cases {
+		opts := base
+		tc.mut(&opts)
+		if _, err := Build(opts); err == nil {
+			t.Errorf("%s: partitioned build accepted an unshardable feature", tc.name)
+		}
+	}
+
+	// FRER flows interleave instrument registration across partitions.
+	fp := parityParams
+	fp.Topology = "bidir-ring"
+	fp.FRERFlows = 4
+	fw, err := workload.Build(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(Options{Design: fw.Design, Topo: fw.Topo, Flows: fw.Specs, Partitions: 2}); err == nil {
+		t.Error("frer: partitioned build accepted FRER flows")
+	}
+
+	// Live reconfiguration and flow addition are rejected at call time.
+	net, _ := runParity(t, 2)
+	if _, err := net.Reconfigure(net.LiveConfig()); err == nil {
+		t.Error("Reconfigure succeeded on a partitioned network")
+	}
+	if err := net.AddFlows(nil, 0); err == nil {
+		t.Error("AddFlows succeeded on a partitioned network")
+	}
+}
+
+// TestPartitionsClampToTopology asks for more partitions than switches
+// and expects a working (clamped) build, plus the degenerate one-switch
+// case collapsing to a serial network.
+func TestPartitionsClampToTopology(t *testing.T) {
+	w, err := workload.Build(parityParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(Options{Design: w.Design, Topo: w.Topo, Flows: w.Specs, Partitions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Partitions(); got != parityParams.Switches {
+		t.Fatalf("Partitions() = %d, want clamp to %d switches", got, parityParams.Switches)
+	}
+	net.Run(0, 5*sim.Millisecond)
+	if s := net.Summary(ethernet.ClassTS); s.Received == 0 {
+		t.Fatal("clamped partitioned run delivered nothing")
+	}
+}

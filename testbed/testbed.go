@@ -27,6 +27,7 @@ import (
 	"github.com/tsnbuilder/tsnbuilder/internal/netdev"
 	"github.com/tsnbuilder/tsnbuilder/internal/obs"
 	"github.com/tsnbuilder/tsnbuilder/internal/pcap"
+	"github.com/tsnbuilder/tsnbuilder/internal/psim"
 	"github.com/tsnbuilder/tsnbuilder/internal/reconfig"
 	"github.com/tsnbuilder/tsnbuilder/internal/sim"
 	"github.com/tsnbuilder/tsnbuilder/internal/tables"
@@ -87,6 +88,15 @@ type Options struct {
 	EnableWatchdog bool
 	// WatchdogInterval overrides the audit period (default 1 ms).
 	WatchdogInterval sim.Time
+	// Partitions, when > 1, shards the topology across that many
+	// engines and runs them in parallel with conservative lookahead
+	// (internal/psim). Exported metrics and per-flow statistics are
+	// byte-identical to a serial run (the scheduler heap-depth gauge
+	// excepted — see DESIGN.md §16). Features that would couple
+	// partitions outside the frame channel are rejected at build:
+	// gPTP, faults, watchdog, trace, pcap, FRER flows and live
+	// reconfiguration. 0 or 1 builds the ordinary serial network.
+	Partitions int
 }
 
 // Net is a built network ready to run.
@@ -120,6 +130,16 @@ type Net struct {
 	// Watchdog is the runtime invariant auditor; nil unless
 	// Options.EnableWatchdog.
 	Watchdog *reconfig.Watchdog
+
+	// Partitioned-mode state (nil/zero on serial builds): the per-shard
+	// engines with their scratch registries and collectors, the
+	// per-switch partition assignment, the host→partition map and the
+	// barrier-stepped runner. See partition.go.
+	parts    []*part
+	assign   []int
+	hostPart map[int]int
+	runner   *psim.Runner
+	merged   bool
 
 	opts  Options
 	specs []*flows.Spec
@@ -160,6 +180,14 @@ type bankKey struct{ sw, port int }
 // miss, small enough to keep resident cost bounded (~4 MB).
 const flightCapacity = 1 << 16
 
+// cbsStallsName/Help label the credit-based shaper stall counter; one
+// definition so serial and partitioned builds register byte-identical
+// families.
+const (
+	cbsStallsName = "tsn_cbs_stalls_total"
+	cbsStallsHelp = "egress selections blocked on negative CBS credit"
+)
+
 // Build assembles the network.
 func Build(opts Options) (*Net, error) {
 	if opts.Design == nil || opts.Topo == nil {
@@ -167,6 +195,9 @@ func Build(opts Options) (*Net, error) {
 	}
 	if opts.CableDelay == 0 {
 		opts.CableDelay = 100 * sim.Nanosecond
+	}
+	if opts.Partitions > 1 {
+		return buildPartitioned(opts)
 	}
 	engine := sim.NewEngine()
 	n := &Net{
@@ -261,6 +292,7 @@ func Build(opts Options) (*Net, error) {
 		}
 		n.NICs[h] = nic
 	}
+	n.assignDeliverPrios()
 
 	// gPTP domain over the trunks, grandmaster at switch 0.
 	if opts.EnableGPTP {
@@ -526,9 +558,13 @@ func (n *Net) installFlows(specs []*flows.Spec) ([]pq, error) {
 		if spec.Class == ethernet.ClassRC {
 			n.prog.nextMeter++
 		}
-		n.Collector.RegisterFlow(spec.ID, spec.Class)
+		// The destination host's collector: in partitioned builds the
+		// flow is received (and its stats kept) on the partition its
+		// listener NIC lives in.
+		coll := n.collectorFor(spec.DstHost)
+		coll.RegisterFlow(spec.ID, spec.Class)
 		if spec.Class == ethernet.ClassTS && spec.Deadline > 0 {
-			n.Collector.SetDeadline(spec.ID, spec.Deadline)
+			coll.SetDeadline(spec.ID, spec.Deadline)
 		}
 	}
 
@@ -580,9 +616,9 @@ func (n *Net) applyCBS(cells []pq) error {
 		if err := bank.Configure(id, idle, n.liveCfg.LinkRate); err != nil {
 			return fmt.Errorf("testbed: cbs configure: %w", err)
 		}
-		if !attached && n.Metrics != nil {
-			n.Metrics.Help("tsn_cbs_stalls_total", "egress selections blocked on negative CBS credit")
-			bank.For(cell.q).Instrument(n.Metrics.Counter("tsn_cbs_stalls_total",
+		if reg := n.regFor(cell.sw); !attached && reg != nil {
+			reg.Help(cbsStallsName, cbsStallsHelp)
+			bank.For(cell.q).Instrument(reg.Counter(cbsStallsName,
 				metrics.L("switch", strconv.Itoa(cell.sw)),
 				metrics.L("port", strconv.Itoa(cell.port)),
 				metrics.L("queue", strconv.Itoa(cell.q)),
@@ -688,6 +724,10 @@ func (n *Net) InstallTAS(sch *tas.Schedule) error {
 // flows generate for duration, then the network drains. Flow generation
 // begins at warmup and stops at warmup+duration.
 func (n *Net) Run(warmup, duration sim.Time) {
+	if n.parts != nil {
+		n.runPartitioned(warmup, duration)
+		return
+	}
 	start := n.Engine.Now() + warmup
 	stop := start + duration
 	n.flowStop = stop
@@ -804,6 +844,9 @@ func (n *Net) reconfigBindings() reconfig.Bindings {
 // The returned transaction resolves (committed or rolled back) at its
 // CommitTime; inspect State and Err after the engine passes it.
 func (n *Net) Reconfigure(cfg core.Config) (*reconfig.Txn, error) {
+	if n.parts != nil {
+		return nil, fmt.Errorf("testbed: live reconfiguration is not supported in partitioned runs (a commit would touch switches across partition goroutines)")
+	}
 	txn, err := n.Reconfig.Begin(n.liveCfg, cfg, n.reconfigBindings())
 	if err != nil {
 		return nil, err
@@ -824,6 +867,9 @@ func (n *Net) Reconfigure(cfg core.Config) (*reconfig.Txn, error) {
 // new flows stop with the rest of the workload. On a programming error
 // the tables may hold a partial install.
 func (n *Net) AddFlows(specs []*flows.Spec, start sim.Time) error {
+	if n.parts != nil {
+		return fmt.Errorf("testbed: AddFlows is not supported in partitioned runs (table programming would race the partition workers)")
+	}
 	for _, spec := range specs {
 		if spec.FRER {
 			return fmt.Errorf("testbed: flow %d: FRER flows cannot be added live", spec.ID)
